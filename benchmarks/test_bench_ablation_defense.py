@@ -1,0 +1,13 @@
+"""Ablation bench: mitigation effectiveness (DESIGN.md defence story)."""
+
+
+def test_bench_ablation_defense(run_recorded):
+    result = run_recorded("ablation-defense")
+    # Cautious adoption strictly shrinks the attack's mean gain as
+    # deployment grows; the victim's reactive padding reduction removes
+    # the gain entirely.
+    cautious = [row[2] for row in result.rows if row[0] == "cautious adoption"]
+    assert cautious[0] == result.summary["undefended_mean_gain_pct"] or cautious[0] > 0
+    assert cautious[-1] < cautious[0]
+    assert all(b <= a + 0.5 for a, b in zip(cautious, cautious[1:]))
+    assert abs(result.summary["reactive_mean_gain_pct"]) < 1e-9

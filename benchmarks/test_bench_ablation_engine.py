@@ -1,0 +1,9 @@
+"""Ablation bench: worklist engine vs the paper's three-phase algorithm."""
+
+
+def test_bench_ablation_engine(run_recorded):
+    result = run_recorded("ablation-engine")
+    # The general engine must agree with the Figure-2 oracle everywhere;
+    # the cost of its generality stays within an order of magnitude.
+    assert result.summary["disagreements"] == 0
+    assert result.summary["engine_over_oracle"] < 10

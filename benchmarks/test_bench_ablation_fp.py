@@ -1,0 +1,11 @@
+"""Ablation bench: detector precision on legitimate prepending changes."""
+
+
+def test_bench_ablation_false_positives(run_recorded):
+    result = run_recorded("ablation-fp")
+    # The paper's design requirement: differentiate the malicious case
+    # from legitimate prepending changes.  The direct symptom must
+    # never fire on honest traffic engineering.
+    assert result.summary["high_confidence_false_alarms"] == 0
+    # And the stress must actually have exercised the detector.
+    assert result.summary["events"] >= 100

@@ -1,0 +1,15 @@
+"""Ablation bench: monitor-placement strategies (the paper's future work)."""
+
+
+def test_bench_ablation_monitors(run_recorded):
+    result = run_recorded("ablation-monitors")
+    assert len(result.rows) == 4
+    accuracies = dict(result.rows)
+    # Every strategy detects something; no strategy exceeds 100%.
+    assert all(0.0 < value <= 100.0 for value in accuracies.values())
+    # The set-cover placement must beat the paper's degree ranking both
+    # in attacker coverage and in realized detection accuracy.
+    assert result.summary["coverage_greedy"] >= result.summary["coverage_top_degree"]
+    assert (
+        accuracies["greedy-cover (ours)"] >= accuracies["top-degree (paper)"] - 1e-9
+    )

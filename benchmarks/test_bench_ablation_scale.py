@@ -1,0 +1,12 @@
+"""Ablation bench: scale sensitivity of the headline statistics."""
+
+
+def test_bench_ablation_scale(run_recorded):
+    result = run_recorded("ablation-scale")
+    pollution = [row[2] for row in result.rows]
+    accuracy = [row[4] for row in result.rows]
+    # Both statistics stay within a factor ~2 band across a 4x range of
+    # topology sizes: the attack-impact results are scale-stable and
+    # detection accuracy tracks the monitor *fraction*, not the count.
+    assert max(pollution) <= 2.5 * min(pollution)
+    assert max(accuracy) <= 2.5 * max(1e-9, min(accuracy))

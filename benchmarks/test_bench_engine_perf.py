@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the propagation engine itself.
+
+Unlike the figure benchmarks (one full experiment per run), these use
+pytest-benchmark's statistics properly: many rounds of a single
+propagation, at three topology scales, plus the warm-start attack path.
+They guard the engine's performance envelope — every experiment in the
+repository is some multiple of these operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack.interception import ASPPInterceptionAttack
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.experiments.base import build_world
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    return {scale: build_world(seed=7, scale=scale) for scale in (0.25, 0.5, 1.0)}
+
+
+@pytest.mark.parametrize("scale", [0.25, 0.5, 1.0])
+def test_bench_cold_propagation(benchmark, worlds, scale):
+    world = worlds[scale]
+    victim = world.topology.content[0]
+    prepending = PrependingPolicy.uniform_origin(victim, 3)
+    outcome = benchmark(
+        world.engine.propagate, victim, prepending=prepending
+    )
+    assert outcome.best[victim] is not None
+    reachable = sum(1 for route in outcome.best.values() if route is not None)
+    assert reachable == len(world.graph)
+
+
+def test_bench_warm_start_attack(benchmark, worlds):
+    world = worlds[1.0]
+    victim = world.topology.content[0]
+    attacker = world.topology.tier1[0]
+    prepending = PrependingPolicy.uniform_origin(victim, 3)
+    baseline = world.engine.propagate(victim, prepending=prepending)
+    modifier = ASPPInterceptionAttack(attacker=attacker, victim=victim).modifier()
+
+    def attack_run():
+        return world.engine.propagate(
+            victim,
+            prepending=prepending,
+            modifiers={attacker: modifier},
+            warm_start=baseline,
+        )
+
+    outcome = benchmark(attack_run)
+    assert outcome.rounds >= 0
+
+
+def test_bench_engine_construction(benchmark, worlds):
+    """Adjacency pre-compilation cost (paid once per topology)."""
+    graph = worlds[1.0].graph
+    engine = benchmark(PropagationEngine, graph)
+    assert engine.graph is graph

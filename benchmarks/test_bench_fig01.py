@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 1 (the Facebook anomaly BGP replay)."""
+
+
+def test_bench_fig01_facebook_replay(run_recorded):
+    result = run_recorded("fig01")
+    # Paper: 7-hop route via Level3 replaced by the 6-hop route via
+    # China Telecom carrying only 3 of the 5 padded ASNs.
+    assert result.summary["att_path_len_before"] == 7
+    assert result.summary["att_path_len_after"] == 6
+    assert result.summary["padding_before"] == 5
+    assert result.summary["padding_seen_after"] == 3
+    assert result.summary["ntt_follows_anomaly"] == 1.0
+
+
+def test_bench_fig01_per_prefix_fates(run_recorded):
+    # Recorded as part of fig01's summary by the bench above; keep a
+    # dedicated assertion for the paper's prefix-count observation.
+    result = run_recorded("fig01")
+    assert result.summary["prefixes_announced"] == 10
+    assert result.summary["prefixes_affected"] == 2

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 5 (fraction of routes with prepending)."""
+
+
+def test_bench_fig05_prepending_fraction(run_recorded):
+    result = run_recorded("fig05")
+    # Paper: ~13% of table routes carry prepending on average, and the
+    # updates series sits right of the tables series.  Known deviation
+    # (see EXPERIMENTS.md): on our synthetic substrate the Tier-1 curve
+    # tracks the all-monitors curve instead of sitting right of it —
+    # the real-world effect came from table-size diversity our equal-
+    # visibility world does not model — so we only require the Tier-1
+    # mean to stay in the same band.
+    mean_all = result.summary["mean_fraction_all_table"]
+    assert 0.05 <= mean_all <= 0.3
+    assert result.summary["mean_fraction_tier1_table"] > 0.6 * mean_all
+    assert result.summary["mean_fraction_all_updates"] > mean_all

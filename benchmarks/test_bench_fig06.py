@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 6 (number of duplicate ASNs)."""
+
+
+def test_bench_fig06_padding_counts(run_recorded):
+    result = run_recorded("fig06")
+    # Paper: 34% of prepended routes repeat twice, 22% three times,
+    # ~1% above ten, tail reaching the high thirties.
+    assert 0.2 <= result.summary["table_fraction_pad2"] <= 0.5
+    assert 0.1 <= result.summary["table_fraction_pad3"] <= 0.35
+    assert result.summary["table_fraction_above10"] < 0.08
+    assert result.summary["max_padding_observed"] >= 10

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 7 (Tier-1 vs Tier-1 pollution, λ=3)."""
+
+
+def test_bench_fig07_tier1_pairs(run_recorded):
+    result = run_recorded("fig07")
+    # Paper: pollution around 40% overall with a weak tail below 5%.
+    assert 20 <= result.summary["mean_pollution_pct"] <= 60
+    assert result.summary["max_pollution_pct"] >= 50
+    assert result.summary["weak_instances_below_5pct"] >= 1
+    after = [row[4] for row in result.rows]
+    assert after == sorted(after, reverse=True)

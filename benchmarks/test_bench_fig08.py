@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 8 (random attacker/victim pollution, λ=3)."""
+
+
+def test_bench_fig08_random_pairs(run_recorded):
+    result = run_recorded("fig08")
+    # Paper: random (mostly low-tier) pairs are far less effective than
+    # Tier-1 pairs — the median instance pollutes almost nothing, while
+    # a few outliers still reach substantial fractions.
+    assert result.summary["median_pollution_pct"] < 20
+    assert result.summary["median_pollution_pct"] < result.summary["max_pollution_pct"]
+    assert len(result.rows) == 27

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 9 (Sprint hijacks AT&T analogue, λ sweep)."""
+
+
+def test_bench_fig09_tier1_vs_tier1(run_recorded):
+    result = run_recorded("fig09")
+    after = {row[0]: row[2] for row in result.rows}
+    before = {row[0]: row[1] for row in result.rows}
+    # Paper shape: λ=1 is the natural share, a steep jump by λ=2-3,
+    # saturation at the attacker's reach, flat beyond λ=5.
+    assert abs(after[1] - before[1]) < 1.0
+    assert after[2] >= after[1] + 10
+    assert after[4] >= after[2]
+    assert abs(after[8] - after[5]) < 5.0
+    assert after[8] <= result.summary["attacker_cone_pct"] + 5

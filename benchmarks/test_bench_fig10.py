@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 10 (AT&T hijacks Facebook analogue, λ sweep)."""
+
+
+def test_bench_fig10_tier1_vs_tier3(run_recorded):
+    result = run_recorded("fig10")
+    after = {row[0]: row[2] for row in result.rows}
+    # Paper shape: steep growth with λ (82% at λ=2, >99% beyond on the
+    # full Internet graph); our smaller graph shields more ASes behind
+    # the victim's other providers, so the plateau is high but not total.
+    assert after[2] > after[1]
+    assert after[4] > after[2]
+    assert result.summary["plateau_pct"] > 50
+    assert after[8] >= after[6] - 1e-9

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 11 (content AS hijacks a Tier-1, λ sweep)."""
+
+
+def test_bench_fig11_stub_vs_tier1(run_recorded):
+    result = run_recorded("fig11")
+    no_chain = {row[0]: row[1] for row in result.rows}
+    valley_free = {row[0]: row[2] for row in result.rows}
+    violating = {row[0]: row[3] for row in result.rows}
+    # Paper: without the sibling/CDN chain the valley-free attack is
+    # tiny; with it, pollution is surprisingly wide (~38% in the
+    # paper's instance); a policy-violating attacker is at least as
+    # effective.
+    assert no_chain[8] < 10
+    assert result.summary["valley_free_plateau_pct"] > 15
+    assert valley_free[8] >= valley_free[2]
+    assert violating[8] >= valley_free[8] - 1e-9

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 12 (small AS hijacks small AS, λ sweep)."""
+
+
+def test_bench_fig12_stub_vs_stub(run_recorded):
+    result = run_recorded("fig12")
+    # Paper: valley-free impact is tiny; violating the export rule
+    # becomes significant as the victim pads more.
+    assert result.summary["valley_free_plateau_pct"] < 10
+    assert result.summary["violate_plateau_pct"] > 30
+    violating = {row[0]: row[2] for row in result.rows}
+    assert violating[8] >= violating[2]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I (traceroute during the Facebook anomaly)."""
+
+
+def test_bench_table1_traceroute(run_recorded):
+    result = run_recorded("table1")
+    # The data path follows the anomalous BGP route through China/Korea
+    # and the RTT inflates severely (paper: ~40ms -> ~250ms).
+    assert result.summary["anomalous_path_traverses_AS4134"] == 1.0
+    assert result.summary["anomalous_path_traverses_AS9318"] == 1.0
+    assert result.summary["rtt_inflation"] > 3.0
+    assert result.summary["anomaly_rtt_ms"] > 180

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Survey of AS-path prepending usage, §VI-A style.
+
+Builds per-monitor routing tables over a synthetic Internet with the
+empirical prepending-behaviour model, then prints the two
+characterisations the paper opens its evaluation with:
+
+* the per-monitor fraction of prefixes whose best route carries ASPP
+  (Figure 5), and
+* the distribution of padding counts among prepended routes (Figure 6),
+
+plus a breakdown the paper only hints at: how often a *padded* origin
+still wins the best-route race (the attack surface of the whole study).
+
+Run:  python examples/aspp_survey.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro import (
+    InternetTopologyConfig,
+    PaddingBehaviorModel,
+    PropagationEngine,
+    RouteCollector,
+    build_monitor_ribs,
+    generate_internet_topology,
+    padding_count_distribution,
+    prepended_fraction_per_monitor,
+    top_degree_monitors,
+)
+from repro.bgp.aspath import has_prepending
+from repro.utils.cdf import EmpiricalCDF
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    world = generate_internet_topology(InternetTopologyConfig(), random.Random(7))
+    graph = world.graph
+    engine = PropagationEngine(graph)
+    monitors = top_degree_monitors(graph, 60)
+    collector = RouteCollector(graph, monitors)
+    model = PaddingBehaviorModel()
+
+    ribs = build_monitor_ribs(
+        graph,
+        collector,
+        num_prefixes=400,
+        model=model,
+        rng=random.Random(21),
+        engine=engine,
+    )
+
+    fractions = prepended_fraction_per_monitor(ribs)
+    cdf = EmpiricalCDF(fractions.values())
+    print("Fraction of prefixes with prepended best routes, per monitor:")
+    print(f"  monitors: {cdf.n}   mean: {cdf.mean:.1%}   "
+          f"p10: {cdf.quantile(0.10):.1%}   median: {cdf.quantile(0.5):.1%}   "
+          f"p90: {cdf.quantile(0.9):.1%}")
+    print(f"  (paper: ~13% on average over RouteViews/RIPE monitors)")
+    print()
+
+    distribution = padding_count_distribution(ribs.all_paths())
+    rows = [(count, f"{fraction:.1%}") for count, fraction in distribution.items()]
+    print(format_table(("padding", "share of prepended routes"), rows,
+                       title="Number of duplicate ASNs (Figure 6)"))
+    print()
+
+    # How often does a padded origin still end up in best routes?
+    visibility = []
+    for origin in sorted(ribs.prepending_origins):
+        prefix = next(p for p, o in ribs.origins.items() if o == origin)
+        seen = sum(
+            1
+            for table in ribs.tables.values()
+            if prefix in table and has_prepending(table[prefix].path)
+        )
+        total = sum(1 for table in ribs.tables.values() if prefix in table)
+        if total:
+            visibility.append(seen / total)
+    print(
+        f"A prepending origin's padded route still wins the best-route race at "
+        f"{statistics.mean(visibility):.0%} of monitors on average\n"
+        f"— every one of those padded best routes is an opportunity for the "
+        f"ASPP interception attack."
+    )
+
+
+if __name__ == "__main__":
+    main()

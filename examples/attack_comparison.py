@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Three hijacks, three fingerprints: why ASPP interception is stealthy.
+
+Launches the paper's attack and its two baselines from the same
+attacker against the same victim, and runs every detector against each:
+
+* **origin hijack** (MOAS) — blackholes traffic, caught instantly by
+  PHAS-style origin monitoring;
+* **Ballani-style path shortening** — intercepts traffic but fabricates
+  an attacker-victim link, caught by new-link monitoring;
+* **ASPP interception** — intercepts traffic with the true origin and
+  only real links; both baselines stay silent, and only the paper's
+  padding-inconsistency algorithm fires.
+
+Run:  python examples/attack_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    ASPPInterceptionDetector,
+    InternetTopologyConfig,
+    OriginHijackAttack,
+    PathShorteningAttack,
+    PrependingPolicy,
+    PropagationEngine,
+    RouteCollector,
+    detect_moas,
+    detect_new_links,
+    generate_internet_topology,
+    pollution_report,
+    simulate_interception,
+    top_degree_monitors,
+)
+from repro.utils.tables import format_table
+
+PADDING = 3
+
+
+def main() -> None:
+    world = generate_internet_topology(InternetTopologyConfig(), random.Random(7))
+    graph = world.graph
+    engine = PropagationEngine(graph)
+    victim = world.content[0]
+    attacker = world.tier1[1]
+    prepending = PrependingPolicy.uniform_origin(victim, PADDING)
+    collector = RouteCollector(graph, top_degree_monitors(graph, 100))
+    aspp_detector = ASPPInterceptionDetector(graph)
+
+    baseline = engine.propagate(victim, prepending=prepending)
+    baseline_view = collector.snapshot(baseline)
+
+    rows = []
+    scenarios = {
+        "origin hijack (MOAS)": OriginHijackAttack(attacker, victim).modifier(),
+        "path shortening (Ballani)": PathShorteningAttack(attacker, victim).modifier(),
+        "ASPP interception (paper)": None,
+    }
+    for name, modifier in scenarios.items():
+        if modifier is None:
+            result = simulate_interception(
+                engine, victim=victim, attacker=attacker, origin_padding=PADDING
+            )
+            attacked = result.attacked
+        else:
+            attacked = engine.propagate(
+                victim,
+                prepending=prepending,
+                modifiers={attacker: modifier},
+                warm_start=baseline,
+            )
+        report = pollution_report(
+            baseline=baseline, attacked=attacked, attacker=attacker, victim=victim
+        )
+        view = collector.snapshot(attacked)
+        moas = bool(detect_moas(view))
+        new_link = bool(detect_new_links(view, graph))
+        aspp_alarms = []
+        for monitor in collector.monitors:
+            before_route = baseline_view.routes[monitor]
+            after_route = view.routes[monitor]
+            if before_route != after_route:
+                aspp_alarms += aspp_detector.inspect_change(
+                    monitor, before_route, after_route, view
+                )
+        rows.append(
+            (
+                name,
+                f"{report.after_fraction:.0%}",
+                "YES" if moas else "no",
+                "YES" if new_link else "no",
+                "YES" if aspp_alarms else "no",
+            )
+        )
+
+    print(
+        format_table(
+            ("attack", "polluted", "MOAS alarm", "new-link alarm", "ASPP alarm"),
+            rows,
+            title=f"AS{attacker} attacks AS{victim} (victim pads x{PADDING})",
+        )
+    )
+    print()
+    print(
+        "The ASPP interception pollutes comparably to the classic hijacks but\n"
+        "raises neither a MOAS nor a new-link anomaly — only the paper's\n"
+        "padding-inconsistency detector sees it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Defending against ASPP interception (the paper's future-work agenda).
+
+Walks the three defences the library ships:
+
+1. **prefix-owner self-check** — the victim compares observed padding
+   against its own configured policy; this resolves the paper's §III
+   ambiguity (the public detector cannot tell an attack by the victim's
+   direct neighbour from the victim's own traffic engineering — the
+   owner can);
+2. **reactive padding reduction** — after an alarm, the victim
+   re-originates with λ'=1, removing the attacker's entire advantage;
+3. **cautious padding adoption** — transit ASes refuse routes whose
+   padding undercuts the history for the same victim-adjacent AS
+   (PGBGP-flavoured), measured at partial deployment.
+
+Run:  python examples/defense_policies.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    InternetTopologyConfig,
+    PrefixOwnerSelfCheck,
+    PrependingPolicy,
+    PropagationEngine,
+    RouteCollector,
+    generate_internet_topology,
+    reactive_padding_reduction,
+    simulate_cautious_deployment,
+    simulate_interception,
+    top_degree_monitors,
+)
+from repro.casestudy import replay_facebook_anomaly
+from repro.casestudy.facebook import AS_FACEBOOK, FACEBOOK_PADDING
+from repro.utils.tables import format_table
+
+PADDING = 4
+
+
+def self_check_on_facebook() -> None:
+    print("1. Prefix-owner self-check on the 2011 Facebook anomaly")
+    replay = replay_facebook_anomaly()
+    collector = RouteCollector(replay.graph, [7018, 2914, 3356])
+    owner_policy = PrependingPolicy.uniform_origin(AS_FACEBOOK, FACEBOOK_PADDING)
+    self_check = PrefixOwnerSelfCheck(AS_FACEBOOK, owner_policy)
+    alarms = self_check.check_view(collector.snapshot(replay.anomalous))
+    print(f"   public monitors alone could not prove the cause (paper §III);")
+    print(f"   the owner's self-check raises {len(alarms)} high-confidence alarm(s):")
+    for alarm in alarms[:2]:
+        print(f"     {alarm}")
+    print()
+
+
+def reactive_and_cautious() -> None:
+    world = generate_internet_topology(InternetTopologyConfig(), random.Random(7))
+    engine = PropagationEngine(world.graph)
+    victim = world.content[0]
+    attacker = world.tier1[0]
+    result = simulate_interception(
+        engine, victim=victim, attacker=attacker, origin_padding=PADDING
+    )
+    print(f"2. Reactive padding reduction (AS{attacker} intercepting AS{victim})")
+    print(f"   attack gain with λ={PADDING}:  {result.report.gain:.1%}")
+    mitigation = reactive_padding_reduction(engine, result)
+    print(f"   gain after re-originating with λ'=1:  {mitigation.report.gain:.1%}")
+    print(f"   traffic-engineering entry points shifted: "
+          f"{mitigation.traffic_engineering_shift:.1%}")
+    print()
+
+    print("3. Cautious padding adoption at partial deployment")
+    rows = []
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        report = simulate_cautious_deployment(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=PADDING,
+            deployment_fraction=fraction,
+            rng=random.Random(5),
+        )
+        rows.append((f"{fraction:.0%}", f"{report.gain:.1%}"))
+    print(format_table(("deployment", "residual attack gain"), rows))
+    print()
+    monitors = top_degree_monitors(world.graph, 100)
+    print(f"   (defences compose with detection: {len(monitors)} public monitors "
+          f"watch for the alarm that triggers the reactive response)")
+
+
+def main() -> None:
+    self_check_on_facebook()
+    reactive_and_cautious()
+
+
+if __name__ == "__main__":
+    main()

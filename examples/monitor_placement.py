@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Monitor placement for interception detection (the paper's future work).
+
+The paper evaluates only degree-ranked monitors and leaves "the best
+vantage point selection to guarantee the detection" as future work.
+This example runs a small campaign of ASPP interception attacks and
+compares three placements at equal budgets:
+
+* top-degree (the paper's strategy),
+* uniform random,
+* victim-adjacent (self-defence monitors ringed around a protected
+  prefix owner),
+* greedy set-cover over attacker customer cones (the library's
+  placement optimiser).
+
+It also prints *why* attacks escape: an attack is only visible when the
+malicious route reaches a monitor, so placements that cover customer
+cones (where pollution lives) beat placements at the top of the
+hierarchy.
+
+Run:  python examples/monitor_placement.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    ASPPInterceptionDetector,
+    InternetTopologyConfig,
+    PropagationEngine,
+    RouteCollector,
+    generate_internet_topology,
+    greedy_cover_monitors,
+    random_monitors,
+    simulate_interception,
+    top_degree_monitors,
+    victim_adjacent_monitors,
+)
+from repro.detection import detection_timing
+from repro.exceptions import DetectionError
+from repro.utils.tables import format_table
+
+BUDGETS = (50, 100, 200)
+ATTACKS = 60
+SEED = 11
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    world = generate_internet_topology(InternetTopologyConfig(), random.Random(7))
+    graph = world.graph
+    engine = PropagationEngine(graph)
+    detector = ASPPInterceptionDetector(graph)
+
+    # A fixed campaign of effective attacks.
+    attacks = []
+    while len(attacks) < ATTACKS:
+        attacker = rng.choice(world.transit_ases)
+        victim = rng.choice(graph.ases)
+        if victim == attacker:
+            continue
+        result = simulate_interception(
+            engine, victim=victim, attacker=attacker, origin_padding=3
+        )
+        if result.report.after:
+            attacks.append(result)
+
+    rows = []
+    for budget in BUDGETS:
+        top = RouteCollector(graph, top_degree_monitors(graph, budget))
+        rand = RouteCollector(
+            graph, random_monitors(graph, budget, random.Random(SEED + budget))
+        )
+
+        def accuracy(collector: RouteCollector) -> float:
+            hits = sum(
+                detection_timing(a, collector, detector).detected for a in attacks
+            )
+            return 100 * hits / len(attacks)
+
+        def accuracy_victim_adjacent() -> float:
+            hits = 0
+            for attack in attacks:
+                try:
+                    monitors = victim_adjacent_monitors(
+                        graph, attack.attack.victim, budget
+                    )
+                except DetectionError:
+                    continue
+                hits += detection_timing(
+                    attack, RouteCollector(graph, monitors), detector
+                ).detected
+            return 100 * hits / len(attacks)
+
+        cover = RouteCollector(graph, greedy_cover_monitors(graph, budget))
+        rows.append(
+            (
+                budget,
+                round(accuracy(top), 1),
+                round(accuracy(rand), 1),
+                round(accuracy_victim_adjacent(), 1),
+                round(accuracy(cover), 1),
+            )
+        )
+
+    print(
+        format_table(
+            ("budget", "top-degree_%", "random_%", "victim-adjacent_%", "greedy-cover_%"),
+            rows,
+            title=f"Detection accuracy over {ATTACKS} attacks",
+        )
+    )
+    print()
+    print(
+        "Pollution lives inside the attacker's customer cone, so monitors at\n"
+        "the very top of the hierarchy often sit above it; spreading monitors\n"
+        "into the edge (random) helps, and explicitly covering attacker cones\n"
+        "(greedy set-cover) wins at every budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Relationship inference with a ground truth (the §IV-A pipeline).
+
+The paper builds its simulation topology by running Gao's algorithm
+and CAIDA's algorithm over months of BGP tables and keeping the agreed
+relationship pairs — with no way to know how accurate the result is.
+Our synthetic worlds come with ground-truth relationships, so this
+example closes that loop:
+
+1. generate a world and collect AS paths the way RouteViews would
+   (best routes of a mixed core+edge monitor fleet, many origins);
+2. run Gao, the CAIDA-style algorithm, and the paper's combination;
+3. score each against the known relationships;
+4. save/reload the inferred graph through the CAIDA serial-1 format.
+
+Run:  python examples/topology_inference.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import (
+    InternetTopologyConfig,
+    PropagationEngine,
+    generate_internet_topology,
+    infer_caida,
+    infer_combined,
+    infer_gao,
+    load_caida,
+    save_caida,
+    score_inference,
+)
+from repro.utils.tables import format_table
+
+
+def collect_paths(world, engine, *, origins=120, seed=17):
+    """Best-route paths from a RouteViews-like monitor fleet."""
+    rng = random.Random(seed)
+    graph = world.graph
+    monitors = sorted(graph.ases, key=lambda a: -graph.degree(a))[:25]
+    monitors += rng.sample(world.stubs, 35)
+    paths = []
+    for origin in rng.sample(graph.ases, origins):
+        outcome = engine.propagate(origin)
+        for monitor in monitors:
+            route = outcome.best.get(monitor)
+            if route is not None and route.path:
+                paths.append(route.path)
+    return paths
+
+
+def main() -> None:
+    world = generate_internet_topology(InternetTopologyConfig(), random.Random(7))
+    engine = PropagationEngine(world.graph)
+    paths = collect_paths(world, engine)
+    print(f"collected {len(paths)} AS paths from the monitor fleet")
+
+    inferred = {
+        "Gao": infer_gao(paths),
+        "CAIDA-style": infer_caida(paths, seed_clique=world.tier1),
+        "combined (paper §IV-A)": infer_combined(paths),
+    }
+    rows = []
+    for name, graph in inferred.items():
+        score = score_inference(world.graph, graph)
+        rows.append(
+            (
+                name,
+                score.num_common_edges,
+                f"{score.accuracy:.1%}",
+                score.num_missing_edges,
+                score.num_spurious_edges,
+            )
+        )
+    print(
+        format_table(
+            ("algorithm", "edges_scored", "label_accuracy", "unobserved", "spurious"),
+            rows,
+            title="Inference accuracy vs ground truth",
+        )
+    )
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "inferred.caida"
+        save_caida(inferred["combined (paper §IV-A)"], path,
+                   header="inferred topology (combined)")
+        reloaded = load_caida(path)
+        print(f"serial-1 round trip: {reloaded.num_edges} edges intact "
+              f"({path.stat().st_size} bytes)")
+    print()
+    print(
+        "'Unobserved' edges never appeared in any monitor path — the same\n"
+        "visibility limit the paper's real-data topology inherits silently."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (required by PEP-660 editable installs) is unavailable — pip
+then falls back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

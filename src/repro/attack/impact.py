@@ -1,0 +1,97 @@
+"""Pollution metrics: how much of the Internet the attacker captured.
+
+The paper quantifies attack impact as "the fraction of ASes adopting
+the malicious route, meaning that their traffic to victim V will
+traverse attacker M", and plots it against the no-attack baseline
+("Before hijack") in Figures 7-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.engine import PropagationOutcome
+
+__all__ = ["PollutionReport", "fraction_traversing", "pollution_report"]
+
+
+def _eligible_ases(outcome: PropagationOutcome, attacker: int, victim: int) -> list[int]:
+    """The population over which pollution is measured.
+
+    The attacker and the victim themselves are excluded: the victim
+    always reaches itself, and the attacker trivially traverses itself.
+    """
+    return [asn for asn in outcome.best if asn not in (attacker, victim)]
+
+
+def fraction_traversing(
+    outcome: PropagationOutcome, transit: int, *, victim: int
+) -> float:
+    """Fraction of (other) ASes whose selected path traverses ``transit``."""
+    population = _eligible_ases(outcome, transit, victim)
+    if not population:
+        return 0.0
+    hits = 0
+    for asn in population:
+        route = outcome.best.get(asn)
+        if route is not None and transit in route.path:
+            hits += 1
+    return hits / len(population)
+
+
+@dataclass(frozen=True)
+class PollutionReport:
+    """Before/after impact of one attack instance."""
+
+    attacker: int
+    victim: int
+    num_ases: int
+    #: ASes whose path traversed the attacker before the attack
+    before: frozenset[int]
+    #: ASes whose path traverses the attacker under the attack
+    after: frozenset[int]
+    #: ASes newly captured by the attack (after - before)
+    newly_polluted: frozenset[int]
+
+    @property
+    def before_fraction(self) -> float:
+        """Paper's "Before hijack" series."""
+        return len(self.before) / self.num_ases if self.num_ases else 0.0
+
+    @property
+    def after_fraction(self) -> float:
+        """Paper's "After hijack" series (% of paths traversing attacker)."""
+        return len(self.after) / self.num_ases if self.num_ases else 0.0
+
+    @property
+    def gain(self) -> float:
+        """Increase in traversal fraction caused by the attack."""
+        return self.after_fraction - self.before_fraction
+
+
+def pollution_report(
+    *,
+    baseline: PropagationOutcome,
+    attacked: PropagationOutcome,
+    attacker: int,
+    victim: int,
+) -> PollutionReport:
+    """Compare baseline and attacked outcomes into a :class:`PollutionReport`."""
+    population = _eligible_ases(baseline, attacker, victim)
+    before: set[int] = set()
+    after: set[int] = set()
+    for asn in population:
+        base_route = baseline.best.get(asn)
+        if base_route is not None and attacker in base_route.path:
+            before.add(asn)
+        attack_route = attacked.best.get(asn)
+        if attack_route is not None and attacker in attack_route.path:
+            after.add(asn)
+    return PollutionReport(
+        attacker=attacker,
+        victim=victim,
+        num_ases=len(population),
+        before=frozenset(before),
+        after=frozenset(after),
+        newly_polluted=frozenset(after - before),
+    )

@@ -1,0 +1,39 @@
+"""Baseline attack: origin-AS (MOAS) prefix hijacking.
+
+The attacker announces the victim's prefix as if it originated it,
+replacing the whole AS path with ``[M]``.  Polluted ASes blackhole
+their traffic to the victim.  This is the classic hijack the paper
+contrasts with: it is effective but trivially detectable because the
+prefix suddenly has **multiple origin ASes** (MOAS) — see
+:func:`repro.detection.baselines.detect_moas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.engine import PathModifier
+from repro.exceptions import SimulationError
+
+__all__ = ["OriginHijackAttack"]
+
+
+@dataclass(frozen=True)
+class OriginHijackAttack:
+    """Configuration of an origin-AS hijack by ``attacker``."""
+
+    attacker: int
+    victim: int
+
+    def __post_init__(self) -> None:
+        if self.attacker == self.victim:
+            raise SimulationError("attacker and victim must be distinct ASes")
+
+    def modifier(self) -> PathModifier:
+        """Replace the used path entirely: the attacker claims origination.
+
+        Returning an empty base path makes the engine emit ``[M]`` —
+        exactly the bogus origination.  The modification applies no
+        matter what route the attacker actually holds.
+        """
+        return lambda path: ()

@@ -1,0 +1,43 @@
+"""Baseline attack: invalid-next-hop interception (Ballani et al. 2007).
+
+The attacker keeps the legitimate origin but replaces the middle of the
+AS path, announcing ``[M V]`` as if it were directly connected to the
+victim.  Traffic is intercepted and can be forwarded onward — but the
+announcement fabricates an ``M-V`` AS-level edge that does not exist,
+so topology-anomaly monitors catch it (see
+:func:`repro.detection.baselines.detect_new_links`).  The paper's
+ASPP-based interception is the stealthier sibling of this attack: it
+shortens the path **without** introducing any unreal link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.engine import PathModifier
+from repro.exceptions import SimulationError
+
+__all__ = ["PathShorteningAttack"]
+
+
+@dataclass(frozen=True)
+class PathShorteningAttack:
+    """Configuration of a Ballani-style interception by ``attacker``."""
+
+    attacker: int
+    victim: int
+
+    def __post_init__(self) -> None:
+        if self.attacker == self.victim:
+            raise SimulationError("attacker and victim must be distinct ASes")
+
+    def modifier(self) -> PathModifier:
+        """Collapse the used path to ``[V]``: the engine emits ``[M V]``."""
+        victim = self.victim
+
+        def shorten(path: tuple[int, ...]) -> tuple[int, ...]:
+            if not path or path[-1] != victim:
+                return path
+            return (victim,)
+
+        return shorten

@@ -1,0 +1,61 @@
+"""BGP substrate: AS paths, routes, policies, and propagation engines.
+
+This package implements the inter-domain routing machinery the paper's
+simulator is built on:
+
+* :mod:`repro.bgp.aspath` — AS-PATH algebra including AS-path
+  prepending (ASPP), padding extraction and stripping;
+* :mod:`repro.bgp.route` / :mod:`repro.bgp.decision` — route records
+  and the policy-first, length-second BGP decision process;
+* :mod:`repro.bgp.policy` — valley-free export rules (with the
+  policy-violation mode of the paper's Figures 11-12);
+* :mod:`repro.bgp.prepending` — per-neighbour prepending schedules;
+* :mod:`repro.bgp.engine` — the general worklist propagation engine
+  (supports attacker transforms, warm starts, adoption-round clocks);
+* :mod:`repro.bgp.uphill` — the paper's Figure-2 three-phase algorithm,
+  used as an independent oracle;
+* :mod:`repro.bgp.collectors` — RouteViews/RIPE-style route collectors;
+* :mod:`repro.bgp.updates` — update-stream (churn) simulation.
+"""
+
+from repro.bgp.aspath import (
+    ASPath,
+    collapse_prepending,
+    origin_of,
+    padding_of_origin,
+    prepend,
+    strip_origin_padding,
+)
+from repro.bgp.collectors import MonitorView, RouteCollector
+from repro.bgp.decision import best_route, preference_key
+from repro.bgp.engine import PropagationEngine, PropagationOutcome
+from repro.bgp.policy import ExportPolicy
+from repro.bgp.prepending import PrependingPolicy
+from repro.bgp.ribdump import dumps_view, load_view, loads_view, save_view
+from repro.bgp.route import Route
+from repro.bgp.uphill import three_phase_routes
+from repro.bgp.uphill_hijack import paper_hijack_estimate
+
+__all__ = [
+    "ASPath",
+    "prepend",
+    "origin_of",
+    "padding_of_origin",
+    "strip_origin_padding",
+    "collapse_prepending",
+    "Route",
+    "preference_key",
+    "best_route",
+    "ExportPolicy",
+    "PrependingPolicy",
+    "PropagationEngine",
+    "PropagationOutcome",
+    "RouteCollector",
+    "MonitorView",
+    "three_phase_routes",
+    "paper_hijack_estimate",
+    "dumps_view",
+    "loads_view",
+    "save_view",
+    "load_view",
+]

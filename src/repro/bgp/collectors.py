@@ -1,0 +1,134 @@
+"""RouteViews / RIPE-style route collectors.
+
+The paper's measurement and detection pipelines consume the best routes
+of *monitor* ASes — networks that run an eBGP session to a public
+collector and export their table ("The logs contain the best route from
+all the peering routers").  :class:`RouteCollector` models exactly
+that: given a propagation outcome and a set of monitor ASes, it yields
+a :class:`MonitorView`, optionally as a time series of snapshots so the
+detector can compare a route *change* against all other monitors'
+current routes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.bgp.engine import PathModifier, PropagationOutcome
+from repro.bgp.route import Route
+from repro.exceptions import DetectionError, UnknownASError
+from repro.topology.asgraph import ASGraph
+
+__all__ = ["MonitorView", "RouteCollector", "CollectorFeed"]
+
+
+@dataclass(frozen=True)
+class MonitorView:
+    """One snapshot of the routes all monitors export for one prefix.
+
+    ``routes`` maps monitor ASN to the best route it holds (``None``
+    when the monitor has no route to the prefix).
+    """
+
+    prefix: str
+    routes: dict[int, Route | None]
+
+    @property
+    def monitors(self) -> list[int]:
+        return sorted(self.routes)
+
+    def paths(self) -> dict[int, tuple[int, ...]]:
+        """Monitor -> AS-PATH, skipping monitors without a route."""
+        return {
+            monitor: route.path
+            for monitor, route in self.routes.items()
+            if route is not None
+        }
+
+    def dump(self) -> str:
+        """Human-readable RIB dump (one line per monitor)."""
+        lines = [f"prefix {self.prefix}"]
+        for monitor in self.monitors:
+            route = self.routes[monitor]
+            path = " ".join(str(a) for a in route.path) if route else "(no route)"
+            lines.append(f"  monitor AS{monitor}: {path}")
+        return "\n".join(lines)
+
+
+class RouteCollector:
+    """Collects the best routes of a fixed set of monitor ASes."""
+
+    def __init__(self, graph: ASGraph, monitors: Iterable[int]) -> None:
+        self._monitors = tuple(sorted(set(monitors)))
+        if not self._monitors:
+            raise DetectionError("a collector needs at least one monitor AS")
+        for monitor in self._monitors:
+            if monitor not in graph:
+                raise UnknownASError(monitor)
+        self._graph = graph
+
+    @property
+    def monitors(self) -> tuple[int, ...]:
+        return self._monitors
+
+    def snapshot(
+        self,
+        outcome: PropagationOutcome,
+        *,
+        modifiers: Mapping[int, PathModifier] | None = None,
+    ) -> MonitorView:
+        """Capture the monitors' best routes from a converged outcome.
+
+        ``modifiers`` mirrors the engine's attacker hook: the collector
+        session is just another eBGP neighbour, so an attacker that
+        happens to peer with the collector announces its *modified*
+        route there too (announcing the unmodified one would expose the
+        inconsistency directly on its own feed).
+        """
+        routes: dict[int, Route | None] = {}
+        for monitor in self._monitors:
+            route = outcome.best.get(monitor)
+            if route is not None and modifiers and monitor in modifiers:
+                route = Route(
+                    prefix=route.prefix,
+                    path=modifiers[monitor](route.path),
+                    learned_from=route.learned_from,
+                    pref=route.pref,
+                )
+            routes[monitor] = route
+        return MonitorView(prefix=outcome.prefix, routes=routes)
+
+
+@dataclass
+class CollectorFeed:
+    """An ordered series of snapshots for one prefix.
+
+    The detection algorithm works on route *changes*: for each monitor
+    it compares consecutive snapshots, and checks the new route against
+    the latest routes of all other monitors.
+    """
+
+    prefix: str
+    snapshots: list[MonitorView] = field(default_factory=list)
+
+    def append(self, view: MonitorView) -> None:
+        if view.prefix != self.prefix:
+            raise DetectionError(
+                f"snapshot is for prefix {view.prefix}, feed is for {self.prefix}"
+            )
+        self.snapshots.append(view)
+
+    def changes(self) -> list[tuple[int, Route | None, Route | None, MonitorView]]:
+        """All per-monitor route changes across consecutive snapshots.
+
+        Yields ``(monitor, previous_route, new_route, current_view)``
+        tuples in snapshot order.
+        """
+        result: list[tuple[int, Route | None, Route | None, MonitorView]] = []
+        for before, after in zip(self.snapshots, self.snapshots[1:]):
+            for monitor, new_route in after.routes.items():
+                old_route = before.routes.get(monitor)
+                if old_route != new_route:
+                    result.append((monitor, old_route, new_route, after))
+        return result

@@ -1,0 +1,39 @@
+"""The BGP decision process used by the simulator.
+
+The paper's route selection follows the standard profit-driven model:
+
+1. highest local preference — customer routes beat sibling routes beat
+   peer routes beat provider routes ("valley-free profit-driven
+   policy");
+2. shortest AS-PATH (this is where prepending, and the attack, act);
+3. deterministic tie-break on the lowest announcing neighbour ASN, so
+   simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bgp.route import Route
+
+__all__ = ["preference_key", "best_route"]
+
+
+def preference_key(route: Route) -> tuple[int, int, int]:
+    """Sort key for route preference: smaller is better."""
+    return (
+        int(route.pref),
+        len(route.path),
+        route.learned_from if route.learned_from is not None else -1,
+    )
+
+
+def best_route(candidates: Iterable[Route]) -> Route | None:
+    """Select the most preferred route, or ``None`` if there are none."""
+    best: Route | None = None
+    best_key: tuple[int, int, int] | None = None
+    for route in candidates:
+        key = preference_key(route)
+        if best_key is None or key < best_key:
+            best, best_key = route, key
+    return best

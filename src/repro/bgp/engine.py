@@ -1,0 +1,333 @@
+"""Policy-aware BGP route-propagation engine.
+
+This is the simulator at the heart of the paper (§IV-B): it emulates
+BGP announcement propagation and the decision process for a single
+destination prefix over a relationship-annotated AS graph, under the
+valley-free profit-driven policy, with:
+
+* per-neighbour AS-path **prepending** schedules (source and
+  intermediary prepending);
+* per-AS **path modifiers** — the hook the ASPP interception attacker
+  uses to strip the victim's padding before re-announcing;
+* per-AS **export-policy violation** (the attacker variant of the
+  paper's Figures 11-12);
+* standard AS-PATH **loop prevention** (an AS never accepts a path that
+  already contains its own ASN) — this is also what automatically keeps
+  the attacker's own valid route to the victim intact;
+* a synchronous **round clock**: the round at which each AS adopted its
+  final route is recorded, giving the logical time base for the
+  pollution-before-detection analysis (Figure 14);
+* **warm starts**: an attack can be launched from a converged baseline
+  so that adoption rounds measure post-attack propagation.
+
+The engine is an asynchronous (Gauss-Seidel) worklist fixpoint: one AS
+at a time re-announces to its neighbours, and any receiver whose
+decision changes joins the worklist.  Sequential activation matters —
+simultaneous (Jacobi-style) updates oscillate even on valley-free
+configurations (two peers can adopt routes through each other in the
+same step, then both retract on loop detection, forever).  Under
+valley-free policies the asynchronous iteration converges (Gao-Rexford
+stability holds for any fair activation order); an operation budget
+guards the policy-violating configurations.
+
+The logical clock is derived from propagation causality rather than
+iteration order: the origin (or attack seed) starts at round 0, and an
+AS that changes its route because of an announcement from an AS at
+round ``r`` is stamped ``r + 1`` — i.e. the number of AS-hops the
+triggering news travelled, which is the natural unit of BGP
+propagation time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.bgp.decision import preference_key
+from repro.bgp.policy import ExportPolicy
+from repro.bgp.prepending import PrependingPolicy
+from repro.bgp.route import DEFAULT_PREFIX, Route
+from repro.exceptions import ConvergenceError, SimulationError, UnknownASError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import PrefClass, Relationship
+
+__all__ = ["PropagationEngine", "PropagationOutcome", "PathModifier", "ImportFilter"]
+
+#: A path transformation applied by an AS to the route it re-announces.
+#: Receives the AS-PATH currently in use (not yet including the
+#: announcing AS) and returns the possibly modified path.
+PathModifier = Callable[[tuple[int, ...]], tuple[int, ...]]
+
+#: A receiver-side import filter: called with (sender ASN, offered
+#: AS-PATH); returning False rejects the offer before the decision
+#: process.  This is the hook defensive route-vetting policies (e.g.
+#: PGBGP-style cautious adoption) plug into.
+ImportFilter = Callable[[int, tuple[int, ...]], bool]
+
+
+@dataclass
+class PropagationOutcome:
+    """The converged routing state for one prefix.
+
+    ``best`` maps every AS to its selected route (``None`` when the AS
+    has no route to the prefix).  ``adj_rib_in`` maps each AS to the
+    offer currently announced by each neighbour — an ``(as_path,
+    pref_class)`` pair, or ``None`` for no offer / withdrawn.  The
+    class rides along with the offer because sibling-learned routes
+    inherit the class the sibling assigned (siblings are one
+    organisation), so the receiver cannot derive it from the
+    relationship alone.  ``adoption_round`` is the logical propagation
+    round at which each AS last changed its best route (0 = unchanged
+    since the start state).
+    """
+
+    prefix: str
+    origin: int
+    best: dict[int, Route | None]
+    adj_rib_in: dict[int, dict[int, tuple[tuple[int, ...], PrefClass] | None]]
+    adoption_round: dict[int, int] = field(default_factory=dict)
+    rounds: int = 0
+
+    def path_of(self, asn: int) -> tuple[int, ...] | None:
+        """The AS-PATH ``asn`` uses towards the prefix (``None`` if unreachable)."""
+        route = self.best.get(asn)
+        return route.path if route is not None else None
+
+    def reachable_ases(self) -> list[int]:
+        """ASes that hold a route to the prefix (including the origin)."""
+        return [asn for asn, route in self.best.items() if route is not None]
+
+    def ases_traversing(self, transit: int) -> list[int]:
+        """ASes whose selected path traverses ``transit`` (excluding itself)."""
+        result = []
+        for asn, route in self.best.items():
+            if asn != transit and route is not None and transit in route.path:
+                result.append(asn)
+        return result
+
+    def clone(self) -> "PropagationOutcome":
+        """Deep-enough copy for use as a warm start."""
+        return PropagationOutcome(
+            prefix=self.prefix,
+            origin=self.origin,
+            best=dict(self.best),
+            adj_rib_in={asn: dict(offers) for asn, offers in self.adj_rib_in.items()},
+            adoption_round=dict(self.adoption_round),
+            rounds=self.rounds,
+        )
+
+
+class PropagationEngine:
+    """Single-prefix BGP propagation over an :class:`ASGraph`.
+
+    The engine pre-compiles adjacency and preference tables once, then
+    answers any number of :meth:`propagate` calls (different origins,
+    prepending schedules, attackers) against the same topology.
+    """
+
+    def __init__(self, graph: ASGraph, *, max_activations: int = 50) -> None:
+        """``max_activations`` bounds the worklist to that many
+        activations *per AS* before :class:`ConvergenceError` is raised
+        (valley-free configurations converge in a handful)."""
+        if max_activations < 1:
+            raise SimulationError("max_activations must be positive")
+        self._graph = graph
+        self._max_activations = max_activations
+        # Pre-compiled adjacency: for each AS, a tuple of
+        # (neighbor, role-of-neighbor-relative-to-AS, pref-of-routes-from-neighbor).
+        self._adjacency: dict[int, tuple[tuple[int, Relationship, PrefClass], ...]] = {}
+        for asn in graph:
+            entries = []
+            for neighbor in sorted(graph.neighbors_of(asn)):
+                role = graph.relationship(asn, neighbor)
+                entries.append((neighbor, role, PrefClass.for_relationship(role)))
+            self._adjacency[asn] = tuple(entries)
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    # ------------------------------------------------------------------
+    def propagate(
+        self,
+        origin: int,
+        *,
+        prefix: str = DEFAULT_PREFIX,
+        prepending: PrependingPolicy | None = None,
+        modifiers: Mapping[int, PathModifier] | None = None,
+        export_policy: ExportPolicy | None = None,
+        warm_start: PropagationOutcome | None = None,
+        seed_ases: Iterable[int] | None = None,
+        import_filters: Mapping[int, ImportFilter] | None = None,
+    ) -> PropagationOutcome:
+        """Run propagation of ``origin``'s prefix to a routing fixpoint.
+
+        ``prepending`` supplies per-neighbour padding counts (default:
+        nobody prepends).  ``modifiers`` maps AS numbers to path
+        transformations applied when that AS re-announces (the attack
+        hook).  ``export_policy`` defaults to strict valley-free export.
+
+        With ``warm_start`` the engine resumes from a previously
+        converged outcome (for the same origin/prefix) and only
+        re-announces from ``seed_ases`` (default: the modifier ASes and
+        policy violators) — adoption rounds then count from the moment
+        the attack begins, which Figure 14's timing analysis needs.
+
+        ``import_filters`` maps an AS to a receiver-side vetting
+        function: offers it returns False for never enter that AS's
+        decision process (the deployment hook for defensive policies).
+        """
+        if origin not in self._adjacency:
+            raise UnknownASError(origin)
+        prepending = prepending or PrependingPolicy()
+        modifiers = dict(modifiers or {})
+        export_policy = export_policy or ExportPolicy()
+        import_filters = dict(import_filters or {})
+        for asn in modifiers:
+            if asn not in self._adjacency:
+                raise UnknownASError(asn)
+
+        if warm_start is not None:
+            if warm_start.origin != origin or warm_start.prefix != prefix:
+                raise SimulationError(
+                    "warm start must come from the same origin and prefix"
+                )
+            state = warm_start.clone()
+            best = state.best
+            adj_rib_in = state.adj_rib_in
+            adoption: dict[int, int] = {}
+            if seed_ases is None:
+                seed = set(modifiers) | set(export_policy.violators)
+            else:
+                seed = set(seed_ases)
+            if not seed:
+                raise SimulationError(
+                    "warm start requires seed ASes (modifiers, violators, or explicit)"
+                )
+            initial = sorted(seed)
+        else:
+            best = {asn: None for asn in self._adjacency}
+            best[origin] = Route(prefix, (), None, PrefClass.ORIGIN)
+            adj_rib_in = {asn: {} for asn in self._adjacency}
+            adoption = {origin: 0}
+            initial = [origin]
+
+        # Round stamp of the news each AS would currently announce.
+        round_of: dict[int, int] = {asn: 0 for asn in initial}
+        queue: deque[int] = deque(initial)
+        queued: set[int] = set(initial)
+        operations = 0
+        budget = self._max_activations * max(1, len(self._adjacency))
+        max_round = 0
+        while queue:
+            operations += 1
+            if operations > budget:
+                raise ConvergenceError(operations)
+            sender = queue.popleft()
+            queued.discard(sender)
+            route = best[sender]
+            sender_round = round_of.get(sender, 0)
+            sender_modifier = modifiers.get(sender)
+            for neighbor, role, _pref in self._adjacency[sender]:
+                offer = self._make_offer(
+                    sender, neighbor, role, route,
+                    sender_modifier, prepending, export_policy,
+                )
+                rib = adj_rib_in[neighbor]
+                if rib.get(sender) == offer:
+                    continue
+                rib[sender] = offer
+                if neighbor == origin:
+                    continue  # the owner always keeps its own route
+                new_best = self._decide(
+                    neighbor, prefix, rib, import_filters.get(neighbor)
+                )
+                if new_best == best[neighbor]:
+                    continue
+                best[neighbor] = new_best
+                stamp = sender_round + 1
+                adoption[neighbor] = stamp
+                round_of[neighbor] = stamp
+                max_round = max(max_round, stamp)
+                if neighbor not in queued:
+                    queue.append(neighbor)
+                    queued.add(neighbor)
+
+        return PropagationOutcome(
+            prefix=prefix,
+            origin=origin,
+            best=best,
+            adj_rib_in=adj_rib_in,
+            adoption_round=adoption,
+            rounds=max_round,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_offer(
+        self,
+        sender: int,
+        neighbor: int,
+        neighbor_role: Relationship,
+        route: Route | None,
+        modifier: PathModifier | None,
+        prepending: PrependingPolicy,
+        export_policy: ExportPolicy,
+    ) -> tuple[tuple[int, ...], PrefClass] | None:
+        """The ``(as_path, receiver_class)`` that ``sender`` offers
+        ``neighbor``, or ``None`` when nothing is exported.
+
+        ``receiver_class`` is the local-preference class the receiver
+        will assign: normally derived from its relationship to the
+        sender, but a sibling inherits the sender's own class — two
+        sibling ASNs are one organisation, so a customer route stays a
+        customer route (and stays exportable upward) when it crosses
+        the sibling link, while a provider route crossing it must not
+        suddenly become exportable.  The inheritance also keeps the
+        iteration convergent: un-inherited sibling leaks re-export
+        provider-learned routes upstream, which creates genuine
+        dispute wheels (persistent oscillation).
+        """
+        if route is None:
+            return None
+        if not export_policy.allows_export(sender, neighbor_role, route.pref):
+            return None
+        base = route.path
+        if modifier is not None:
+            base = modifier(base)
+        count = prepending.padding(sender, neighbor)
+        path_out = (sender,) * count + base
+        # Receiver-side loop prevention: an AS never accepts a path
+        # already containing its own ASN.
+        if neighbor in path_out:
+            return None
+        if neighbor_role is Relationship.SIBLING:
+            receiver_class = route.pref
+        else:
+            # The sender's CUSTOMER is the receiver, for whom the sender
+            # is a PROVIDER, and vice versa; peers stay peers.
+            receiver_class = PrefClass.for_relationship(neighbor_role.inverse())
+        return path_out, receiver_class
+
+    def _decide(
+        self,
+        receiver: int,
+        prefix: str,
+        offers: Mapping[int, tuple[tuple[int, ...], PrefClass] | None],
+        import_filter: ImportFilter | None = None,
+    ) -> Route | None:
+        """Run the decision process over ``receiver``'s Adj-RIB-in."""
+        best: Route | None = None
+        best_key: tuple[int, int, int] | None = None
+        for neighbor, _role, _pref in self._adjacency[receiver]:
+            offer = offers.get(neighbor)
+            if offer is None:
+                continue
+            path, pref = offer
+            if import_filter is not None and not import_filter(neighbor, path):
+                continue
+            candidate = Route(prefix, path, neighbor, pref)
+            key = preference_key(candidate)
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        return best

@@ -1,0 +1,103 @@
+"""Text persistence for collector views (offline detection pipelines).
+
+Real deployments of the paper's detector consume archived collector
+dumps rather than a live simulator (the paper's study itself parsed
+RouteViews table archives).  This module serialises
+:class:`~repro.bgp.collectors.MonitorView` snapshots to a compact,
+line-oriented text format and parses them back, so detection can run
+on files the same way it runs on in-memory outcomes::
+
+    # repro-rib 1
+    prefix 203.0.113.0/24
+    7018|peer|3356|3356 32934 32934 32934
+    2914|-|-|-
+
+Fields are ``monitor|pref|learned_from|path``; ``-`` marks a monitor
+with no route.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.bgp.collectors import MonitorView
+from repro.bgp.route import Route
+from repro.exceptions import SerializationError
+from repro.topology.relationships import PrefClass
+
+__all__ = ["dumps_view", "loads_view", "save_view", "load_view"]
+
+_MAGIC = "# repro-rib 1"
+
+
+def dumps_view(view: MonitorView) -> str:
+    """Serialise one monitor-view snapshot."""
+    out = io.StringIO()
+    out.write(f"{_MAGIC}\n")
+    out.write(f"prefix {view.prefix}\n")
+    for monitor in view.monitors:
+        route = view.routes[monitor]
+        if route is None:
+            out.write(f"{monitor}|-|-|-\n")
+            continue
+        learned = route.learned_from if route.learned_from is not None else "-"
+        path = " ".join(str(asn) for asn in route.path) if route.path else "-"
+        out.write(f"{monitor}|{route.pref.name.lower()}|{learned}|{path}\n")
+    return out.getvalue()
+
+
+def loads_view(text: str) -> MonitorView:
+    """Parse a snapshot produced by :func:`dumps_view`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[0].strip() != _MAGIC:
+        raise SerializationError(f"missing magic header {_MAGIC!r}")
+    if len(lines) < 2 or not lines[1].startswith("prefix "):
+        raise SerializationError("missing 'prefix <p>' line")
+    prefix = lines[1].split(" ", 1)[1].strip()
+    routes: dict[int, Route | None] = {}
+    for line_number, raw in enumerate(lines[2:], start=3):
+        parts = raw.split("|")
+        if len(parts) != 4:
+            raise SerializationError(
+                f"line {line_number}: expected 'monitor|pref|learned|path', got {raw!r}"
+            )
+        monitor_text, pref_text, learned_text, path_text = (
+            part.strip() for part in parts
+        )
+        try:
+            monitor = int(monitor_text)
+        except ValueError as exc:
+            raise SerializationError(
+                f"line {line_number}: bad monitor ASN {monitor_text!r}"
+            ) from exc
+        if pref_text == "-":
+            routes[monitor] = None
+            continue
+        try:
+            pref = PrefClass[pref_text.upper()]
+        except KeyError as exc:
+            raise SerializationError(
+                f"line {line_number}: unknown preference class {pref_text!r}"
+            ) from exc
+        learned = None if learned_text == "-" else int(learned_text)
+        path: tuple[int, ...] = ()
+        if path_text != "-":
+            try:
+                path = tuple(int(asn) for asn in path_text.split())
+            except ValueError as exc:
+                raise SerializationError(
+                    f"line {line_number}: bad AS path {path_text!r}"
+                ) from exc
+        routes[monitor] = Route(prefix, path, learned, pref)
+    return MonitorView(prefix=prefix, routes=routes)
+
+
+def save_view(view: MonitorView, path: str | Path) -> None:
+    """Write a snapshot to ``path``."""
+    Path(path).write_text(dumps_view(view))
+
+
+def load_view(path: str | Path) -> MonitorView:
+    """Read a snapshot from ``path``."""
+    return loads_view(Path(path).read_text())

@@ -1,0 +1,93 @@
+"""Update-stream (churn) simulation.
+
+The paper's measurement section contrasts what monitors see in stable
+routing *tables* with what shows up in *update* files: transient
+events expose backup routes, which carry heavier prepending (operators
+pad backup announcements so they are only used during failures).  We
+reproduce that mechanism: a churn event takes a converged world, fails
+one of the origin's provider/peer links, re-converges, and records each
+monitor route that changed — those changed routes are the "update
+messages" the characterisation of Figures 5-6 consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.bgp.route import Route
+from repro.exceptions import SimulationError
+from repro.topology.asgraph import ASGraph
+
+__all__ = ["UpdateMessage", "simulate_update_stream"]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateMessage:
+    """One simulated BGP update observed at a monitor."""
+
+    monitor: int
+    prefix: str
+    path: tuple[int, ...]
+    withdrawn: bool = False
+
+
+def simulate_update_stream(
+    graph: ASGraph,
+    origin: int,
+    monitors: RouteCollector,
+    *,
+    prefix: str,
+    prepending: PrependingPolicy | None = None,
+    events: int = 3,
+    rng: random.Random,
+) -> list[UpdateMessage]:
+    """Simulate ``events`` failure/recovery churn events for one prefix.
+
+    Each event removes one randomly chosen link adjacent to the origin
+    (its primary egress candidates), re-runs propagation on the degraded
+    topology, and records the new best route of every monitor whose
+    route changed.  The link is restored before the next event, and the
+    recovery announcements (back to the baseline routes) are recorded
+    too — real update files contain both directions of a flap.
+    """
+    if events < 0:
+        raise SimulationError("events must be non-negative")
+    neighbors = sorted(graph.neighbors_of(origin))
+    if not neighbors:
+        raise SimulationError(f"origin AS{origin} has no neighbours to fail")
+
+    baseline_engine = PropagationEngine(graph)
+    baseline = baseline_engine.propagate(origin, prefix=prefix, prepending=prepending)
+    baseline_view = monitors.snapshot(baseline)
+
+    messages: list[UpdateMessage] = []
+    for _ in range(events):
+        failed = rng.choice(neighbors)
+        degraded = graph.copy()
+        degraded.remove_edge(origin, failed)
+        engine = PropagationEngine(degraded)
+        outcome = engine.propagate(origin, prefix=prefix, prepending=prepending)
+        degraded_view = monitors.snapshot(outcome)
+        for monitor in monitors.monitors:
+            before: Route | None = baseline_view.routes.get(monitor)
+            after: Route | None = degraded_view.routes.get(monitor)
+            if before == after:
+                continue
+            if after is None:
+                messages.append(
+                    UpdateMessage(monitor=monitor, prefix=prefix, path=(), withdrawn=True)
+                )
+            else:
+                messages.append(
+                    UpdateMessage(monitor=monitor, prefix=prefix, path=after.path)
+                )
+            # Recovery: the flap's second half re-announces the baseline.
+            if before is not None:
+                messages.append(
+                    UpdateMessage(monitor=monitor, prefix=prefix, path=before.path)
+                )
+    return messages

@@ -1,0 +1,168 @@
+"""The paper's Figure-2 three-phase AS-level path algorithm.
+
+The paper computes attack-free AS-level routes the standard way
+(following Mao et al., "On AS-Level Path Inference"): shortest *uphill*
+(customer-to-provider) paths first, then routes through a single
+peering link, then provider routes propagating *downhill* — reflecting
+the customer > peer > provider local preference.
+
+This module implements that algorithm directly as an independent oracle
+for the general worklist engine (:mod:`repro.bgp.engine`): property
+tests assert both produce the same preference class and path length for
+every AS, on sibling-free topologies.  (Sibling edges are excluded here
+because the three-phase formulation has no natural place for
+export-everything relationships; the worklist engine handles them.)
+
+Per-neighbour prepending is supported: the "length" of a hop from
+sender ``s`` to receiver ``r`` is ``padding(s, r)``, so an origin that
+pads ``λ`` times contributes ``λ`` to every path using that first hop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.bgp.prepending import PrependingPolicy
+from repro.exceptions import SimulationError, UnknownASError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import PrefClass
+
+__all__ = ["ThreePhaseRoute", "three_phase_routes"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThreePhaseRoute:
+    """Best route at one AS as computed by the three-phase algorithm."""
+
+    pref: PrefClass
+    length: int
+    path: tuple[int, ...]
+
+
+def three_phase_routes(
+    graph: ASGraph,
+    origin: int,
+    *,
+    prepending: PrependingPolicy | None = None,
+) -> dict[int, ThreePhaseRoute]:
+    """Compute every AS's best route to ``origin`` without any attacker.
+
+    Returns a map from ASN to :class:`ThreePhaseRoute`; ASes with no
+    valley-free route to the origin are absent.  The origin itself maps
+    to an ``ORIGIN``-class route with an empty path.
+
+    Raises :class:`SimulationError` if the topology contains sibling
+    edges (see module docstring).
+    """
+    if origin not in graph:
+        raise UnknownASError(origin)
+    for asn in graph:
+        if graph.siblings_of(asn):
+            raise SimulationError(
+                "three-phase algorithm does not support sibling edges; "
+                "use PropagationEngine"
+            )
+    prepending = prepending or PrependingPolicy()
+
+    # ---- Phase 1: uphill (customer-learned) routes -------------------
+    # Dijkstra from the origin along customer->provider edges.  The
+    # state per AS is (length, sender, path); ties prefer the lowest
+    # announcing neighbour ASN, matching the engine's tie-break.
+    uphill: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+    heap: list[tuple[int, int, int, tuple[int, ...]]] = []
+    for provider in sorted(graph.providers_of(origin)):
+        count = prepending.padding(origin, provider)
+        path = (origin,) * count
+        heapq.heappush(heap, (len(path), origin, provider, path))
+    while heap:
+        length, sender, node, path = heapq.heappop(heap)
+        settled = uphill.get(node)
+        if settled is not None and (settled[0], settled[1]) <= (length, sender):
+            continue
+        uphill[node] = (length, sender, path)
+        for provider in sorted(graph.providers_of(node)):
+            count = prepending.padding(node, provider)
+            new_path = (node,) * count + path
+            if provider in new_path:
+                continue
+            heapq.heappush(
+                heap, (len(new_path), node, provider, new_path)
+            )
+
+    # ---- Phase 2: routes across one peering link ---------------------
+    # A peer exports only its customer-learned (or self-originated)
+    # routes.  The origin's own announcement to a peer is the
+    # zero-uphill special case.
+    peer_routes: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+    for node in graph:
+        if node == origin:
+            continue
+        best: tuple[int, int, tuple[int, ...]] | None = None
+        for peer in sorted(graph.peers_of(node)):
+            if peer == origin:
+                count = prepending.padding(origin, node)
+                candidate_path = (origin,) * count
+            elif peer in uphill:
+                count = prepending.padding(peer, node)
+                candidate_path = (peer,) * count + uphill[peer][2]
+            else:
+                continue
+            if node in candidate_path:
+                continue
+            candidate = (len(candidate_path), peer, candidate_path)
+            if best is None or (candidate[0], candidate[1]) < (best[0], best[1]):
+                best = candidate
+        if best is not None:
+            peer_routes[node] = best
+
+    # ---- Phase 3: downhill (provider-learned) routes ------------------
+    # Providers export their overall best route to customers.  ASes that
+    # already hold a customer or peer route never prefer a provider
+    # route; for the rest we run a downhill Dijkstra seeded by every AS
+    # that has a better-class route.
+    best_class: dict[int, tuple[PrefClass, int, tuple[int, ...]]] = {
+        origin: (PrefClass.ORIGIN, 0, ())
+    }
+    for node, (length, _sender, path) in uphill.items():
+        best_class[node] = (PrefClass.CUSTOMER, length, path)
+    for node, (length, _sender, path) in peer_routes.items():
+        if node not in best_class:
+            best_class[node] = (PrefClass.PEER, length, path)
+
+    downhill: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+    heap = []
+    for node, (_pref, _length, path) in best_class.items():
+        for customer in sorted(graph.customers_of(node)):
+            if customer in best_class:
+                continue
+            count = prepending.padding(node, customer)
+            candidate = (node,) * count + (path if node != origin else ())
+            if node == origin:
+                candidate = (origin,) * prepending.padding(origin, customer)
+            if customer in candidate:
+                continue
+            heapq.heappush(heap, (len(candidate), node, customer, candidate))
+    while heap:
+        length, sender, node, path = heapq.heappop(heap)
+        if node in best_class:
+            continue
+        settled = downhill.get(node)
+        if settled is not None and (settled[0], settled[1]) <= (length, sender):
+            continue
+        downhill[node] = (length, sender, path)
+        for customer in sorted(graph.customers_of(node)):
+            if customer in best_class:
+                continue
+            count = prepending.padding(node, customer)
+            new_path = (node,) * count + path
+            if customer in new_path:
+                continue
+            heapq.heappush(heap, (len(new_path), node, customer, new_path))
+    for node, (length, _sender, path) in downhill.items():
+        best_class[node] = (PrefClass.PROVIDER, length, path)
+
+    return {
+        node: ThreePhaseRoute(pref=pref, length=length, path=path)
+        for node, (pref, length, path) in best_class.items()
+    }

@@ -1,0 +1,187 @@
+"""The paper's Figure-2 hijack simulation algorithm, implemented as-is.
+
+Figure 2 of the paper ("BGP route update propagation and decision
+process simulation algorithm") computes the attack outcome inside the
+three-phase customer/peer/provider structure: shortest uphill paths are
+computed from the victim; whenever the current AS is the attacker
+``M``, the path ``[M * V ... V]`` is changed to ``[M * V]`` and the
+shortest uphill paths are updated accordingly; peer and provider phases
+then run on the updated distances.
+
+This module reproduces that algorithm faithfully — including its
+approximation: unlike the exact worklist engine
+(:mod:`repro.bgp.engine`), the three-phase formulation never revisits
+the *class* structure after the modification (an AS that held a peer
+route keeps a peer route even if the shortened uphill route would now
+win at a neighbour), and it does not model AS-PATH loop prevention.
+The ``ablation-engine`` benchmark quantifies how close the
+approximation gets to the exact fixpoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.bgp.aspath import strip_origin_padding
+from repro.bgp.prepending import PrependingPolicy
+from repro.exceptions import SimulationError, UnknownASError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import PrefClass
+
+__all__ = ["PaperHijackEstimate", "paper_hijack_estimate"]
+
+
+@dataclass(frozen=True)
+class PaperHijackEstimate:
+    """Result of the paper's Figure-2 algorithm for one attack."""
+
+    victim: int
+    attacker: int
+    origin_padding: int
+    #: per-AS best (pref class, length, path) under the attack
+    routes: dict[int, tuple[PrefClass, int, tuple[int, ...]]]
+
+    def polluted_fraction(self) -> float:
+        """Fraction of (other) ASes whose path traverses the attacker."""
+        population = [
+            asn for asn in self.routes if asn not in (self.victim, self.attacker)
+        ]
+        if not population:
+            return 0.0
+        hits = sum(
+            1 for asn in population if self.attacker in self.routes[asn][2]
+        )
+        return hits / len(population)
+
+
+def _strip_at(path: tuple[int, ...], attacker: int, victim: int) -> tuple[int, ...]:
+    """The attacker's modification of Figure 2: [M * V..V] -> [M * V]."""
+    del attacker  # the caller applies this only at the attacker's node
+    if not path or path[-1] != victim:
+        return path
+    return strip_origin_padding(path)
+
+
+def paper_hijack_estimate(
+    graph: ASGraph,
+    *,
+    victim: int,
+    attacker: int,
+    origin_padding: int,
+) -> PaperHijackEstimate:
+    """Run the paper's Figure-2 simulation for one hijack instance.
+
+    Step 1: the victim prepends its ASN ``λ`` times.  Step 2: shortest
+    uphill (customer-provider) paths from the victim to all ASes, with
+    the attacker stripping ``λ-1`` copies when the path passes through
+    it.  Steps 3+: peers' paths, then providers' paths, preferring
+    customer < peer < provider, updating recursively downhill.
+
+    Sibling edges are not part of the paper's formulation and are
+    rejected, mirroring :func:`repro.bgp.uphill.three_phase_routes`.
+    """
+    if victim not in graph:
+        raise UnknownASError(victim)
+    if attacker not in graph:
+        raise UnknownASError(attacker)
+    if victim == attacker:
+        raise SimulationError("attacker and victim must be distinct")
+    if origin_padding < 1:
+        raise SimulationError("origin padding must be >= 1")
+    for asn in graph:
+        if graph.siblings_of(asn):
+            raise SimulationError(
+                "the Figure-2 algorithm does not model sibling edges"
+            )
+    prepending = PrependingPolicy.uniform_origin(victim, origin_padding)
+
+    # ---- Step 2: shortest uphill paths with in-place modification ----
+    uphill: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+    heap: list[tuple[int, int, int, tuple[int, ...]]] = []
+    for provider in sorted(graph.providers_of(victim)):
+        path = (victim,) * prepending.padding(victim, provider)
+        if provider == attacker:
+            path = _strip_at(path, attacker, victim)
+        heapq.heappush(heap, (len(path), victim, provider, path))
+    while heap:
+        length, sender, node, path = heapq.heappop(heap)
+        settled = uphill.get(node)
+        if settled is not None and (settled[0], settled[1]) <= (length, sender):
+            continue
+        uphill[node] = (length, sender, path)
+        for provider in sorted(graph.providers_of(node)):
+            new_path = (node,) + path
+            if node == attacker:
+                # "if ASk = M: change path [M * V ... V] to [M * V]"
+                new_path = _strip_at(new_path, attacker, victim)
+            heapq.heappush(heap, (len(new_path), node, provider, new_path))
+
+    # ---- Peers' paths ------------------------------------------------
+    peer_routes: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+    for node in graph:
+        if node == victim:
+            continue
+        best: tuple[int, int, tuple[int, ...]] | None = None
+        for peer in sorted(graph.peers_of(node)):
+            if peer == victim:
+                candidate_path = (victim,) * prepending.padding(victim, node)
+            elif peer in uphill:
+                candidate_path = (peer,) + uphill[peer][2]
+                if peer == attacker:
+                    candidate_path = _strip_at(candidate_path, attacker, victim)
+            else:
+                continue
+            candidate = (len(candidate_path), peer, candidate_path)
+            if best is None or (candidate[0], candidate[1]) < (best[0], best[1]):
+                best = candidate
+        if best is not None:
+            peer_routes[node] = best
+
+    # ---- Providers' paths (recursive downhill update) ----------------
+    best_class: dict[int, tuple[PrefClass, int, tuple[int, ...]]] = {
+        victim: (PrefClass.ORIGIN, 0, ())
+    }
+    for node, (length, _sender, path) in uphill.items():
+        best_class[node] = (PrefClass.CUSTOMER, length, path)
+    for node, (length, _sender, path) in peer_routes.items():
+        if node not in best_class:
+            best_class[node] = (PrefClass.PEER, length, path)
+
+    downhill: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+    heap = []
+    for node, (_pref, _length, path) in best_class.items():
+        for customer in sorted(graph.customers_of(node)):
+            if customer in best_class:
+                continue
+            if node == victim:
+                candidate = (victim,) * prepending.padding(victim, customer)
+            else:
+                candidate = (node,) + path
+                if node == attacker:
+                    candidate = _strip_at(candidate, attacker, victim)
+            heapq.heappush(heap, (len(candidate), node, customer, candidate))
+    while heap:
+        length, sender, node, path = heapq.heappop(heap)
+        if node in best_class:
+            continue
+        settled = downhill.get(node)
+        if settled is not None and (settled[0], settled[1]) <= (length, sender):
+            continue
+        downhill[node] = (length, sender, path)
+        for customer in sorted(graph.customers_of(node)):
+            if customer in best_class:
+                continue
+            new_path = (node,) + path
+            if node == attacker:
+                new_path = _strip_at(new_path, attacker, victim)
+            heapq.heappush(heap, (len(new_path), node, customer, new_path))
+    for node, (length, _sender, path) in downhill.items():
+        best_class[node] = (PrefClass.PROVIDER, length, path)
+
+    return PaperHijackEstimate(
+        victim=victim,
+        attacker=attacker,
+        origin_padding=origin_padding,
+        routes=best_class,
+    )

@@ -1,0 +1,31 @@
+"""The Facebook routing-anomaly case study (the paper's §III).
+
+* :mod:`repro.casestudy.facebook` — an exact reconstruction of the
+  2011-03-22 anomaly: the AS-level fragment of Figure 1, the baseline
+  and anomalous routes, and a replay through the propagation engine
+  and the detector;
+* :mod:`repro.casestudy.traceroute` — a data-plane traceroute
+  simulation driven by the control-plane AS path, reproducing Table I's
+  cross-ocean latency signature.
+"""
+
+from repro.casestudy.facebook import (
+    FACEBOOK_PREFIXES,
+    FacebookReplay,
+    PrefixFate,
+    build_facebook_topology,
+    replay_all_prefixes,
+    replay_facebook_anomaly,
+)
+from repro.casestudy.traceroute import TracerouteHop, TracerouteSimulator
+
+__all__ = [
+    "build_facebook_topology",
+    "replay_facebook_anomaly",
+    "replay_all_prefixes",
+    "FacebookReplay",
+    "PrefixFate",
+    "FACEBOOK_PREFIXES",
+    "TracerouteSimulator",
+    "TracerouteHop",
+]

@@ -1,0 +1,260 @@
+"""Reconstruction of the 2011-03-22 Facebook routing anomaly (§III).
+
+On Mar 22nd 2011 at 7:15 GMT, AT&T (AS7018) and NTT (AS2914) — and
+"almost all large ISPs" — switched their route towards two Facebook
+prefixes from the normal 6-hop route through Level3,
+
+    ``7018 3356 32934 32934 32934 32934 32934``   (5 copies of 32934)
+
+to a 5-hop route through China Telecom and a Korean ISP,
+
+    ``7018 4134 9318 32934 32934 32934``          (3 copies of 32934),
+
+which is *shorter* precisely because it carries two fewer prepended
+copies of Facebook's ASN.  The paper uses this instance to motivate the
+ASPP interception attack: one consistent explanation is that AS9318
+removed two of the five padded ASNs before re-announcing to its peer.
+
+This module rebuilds the AS-level fragment of the paper's Figure 1 with
+the real AS numbers, replays both the baseline and the anomaly through
+the propagation engine, and exposes the routes for the detector and the
+traceroute simulation (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.interception import InterceptionResult, simulate_interception
+from repro.bgp.engine import PropagationEngine, PropagationOutcome
+from repro.bgp.prepending import PrependingPolicy
+from repro.topology.asgraph import ASGraph
+
+__all__ = [
+    "AS_FACEBOOK",
+    "AS_ATT",
+    "AS_LEVEL3",
+    "AS_NTT",
+    "AS_CHINA_TELECOM",
+    "AS_KOREAN_ISP",
+    "AS_ATT_CUSTOMER",
+    "AS_SPRINT",
+    "FACEBOOK_PREFIXES",
+    "AFFECTED_PREFIXES",
+    "FACEBOOK_PADDING",
+    "ANOMALY_PADDING_SEEN",
+    "build_facebook_topology",
+    "replay_facebook_anomaly",
+    "replay_all_prefixes",
+    "FacebookReplay",
+    "PrefixFate",
+]
+
+AS_FACEBOOK = 32934
+AS_ATT = 7018
+AS_LEVEL3 = 3356
+AS_NTT = 2914
+AS_SPRINT = 1239
+AS_CHINA_TELECOM = 4134
+AS_KOREAN_ISP = 9318
+#: the AT&T customer the paper's Table I traceroute originates from
+AS_ATT_CUSTOMER = 7132
+
+#: The ten prefixes Facebook announced at the time (paper: "among all
+#: ten prefixes announced by Facebook, only two ... are affected").
+FACEBOOK_PREFIXES: tuple[str, ...] = (
+    "66.220.144.0/20",
+    "66.220.152.0/21",
+    "69.63.176.0/20",
+    "69.63.184.0/21",
+    "69.171.224.0/20",
+    "69.171.239.0/24",
+    "69.171.240.0/20",
+    "69.171.255.0/24",
+    "74.119.76.0/22",
+    "204.15.20.0/22",
+)
+
+#: The two front-end prefixes that were actually redirected.
+AFFECTED_PREFIXES: tuple[str, ...] = ("69.171.224.0/20", "69.171.255.0/24")
+
+#: Facebook's normal origination padding (5 copies of 32934).
+FACEBOOK_PADDING = 5
+#: Padding visible in the anomalous route (3 copies): two were removed.
+ANOMALY_PADDING_SEEN = 3
+
+
+def build_facebook_topology() -> tuple[ASGraph, dict[int, str]]:
+    """The AS-level fragment of the paper's Figure 1.
+
+    Returns the annotated graph and a human-readable label per ASN.
+    Relationships follow the roles visible in the paper's routes:
+
+    * AT&T, NTT, Level3, Sprint and China Telecom form the (partial)
+      Tier-1 peering core;
+    * the Korean ISP (AS9318) buys transit from China Telecom;
+    * Facebook is a customer of Level3 and of the Korean ISP (its
+      trans-Pacific connectivity during the incident);
+    * the traceroute vantage point (AS7132) is an AT&T customer.
+    """
+    graph = ASGraph()
+    tier1 = (AS_ATT, AS_LEVEL3, AS_NTT, AS_SPRINT, AS_CHINA_TELECOM)
+    for index, a in enumerate(tier1):
+        for b in tier1[index + 1 :]:
+            graph.add_p2p(a, b)
+    graph.add_p2c(AS_CHINA_TELECOM, AS_KOREAN_ISP)
+    graph.add_p2c(AS_LEVEL3, AS_FACEBOOK)
+    graph.add_p2c(AS_KOREAN_ISP, AS_FACEBOOK)
+    graph.add_p2c(AS_ATT, AS_ATT_CUSTOMER)
+    labels = {
+        AS_FACEBOOK: "Facebook",
+        AS_ATT: "AT&T",
+        AS_LEVEL3: "Level3",
+        AS_NTT: "NTT",
+        AS_SPRINT: "Sprint",
+        AS_CHINA_TELECOM: "China Telecom",
+        AS_KOREAN_ISP: "Korean ISP",
+        AS_ATT_CUSTOMER: "AT&T customer",
+    }
+    return graph, labels
+
+
+@dataclass
+class FacebookReplay:
+    """The replayed anomaly: baseline and anomalous routing states."""
+
+    graph: ASGraph
+    labels: dict[int, str]
+    prefix: str
+    result: InterceptionResult
+
+    @property
+    def baseline(self) -> PropagationOutcome:
+        return self.result.baseline
+
+    @property
+    def anomalous(self) -> PropagationOutcome:
+        return self.result.attacked
+
+    def route_change_rows(self) -> list[tuple[str, str, str]]:
+        """Per-AS (name, before-path, after-path) rows for reporting."""
+        rows: list[tuple[str, str, str]] = []
+        for asn in sorted(self.labels):
+            if asn == AS_FACEBOOK:
+                continue
+            before = self.baseline.path_of(asn)
+            after = self.anomalous.path_of(asn)
+            rows.append(
+                (
+                    f"{self.labels[asn]} (AS{asn})",
+                    " ".join(map(str, before)) if before else "-",
+                    " ".join(map(str, after)) if after else "-",
+                )
+            )
+        return rows
+
+    def figure1_announcements(self) -> list[str]:
+        """The announcement lines of the paper's Figure 1."""
+        lines = [
+            f"Facebook -> Level3:      AS Path: {' '.join([str(AS_FACEBOOK)] * FACEBOOK_PADDING)}",
+            f"Level3 -> AT&T:          AS Path: {AS_LEVEL3} "
+            + " ".join([str(AS_FACEBOOK)] * FACEBOOK_PADDING),
+            f"Facebook -> Korean ISP:  AS Path: {' '.join([str(AS_FACEBOOK)] * FACEBOOK_PADDING)}",
+            f"Korean ISP -> ChinaTel:  AS Path: {AS_KOREAN_ISP} "
+            + " ".join([str(AS_FACEBOOK)] * ANOMALY_PADDING_SEEN)
+            + "   <- two padded ASNs removed",
+            f"ChinaTel -> AT&T/NTT:    AS Path: {AS_CHINA_TELECOM} {AS_KOREAN_ISP} "
+            + " ".join([str(AS_FACEBOOK)] * ANOMALY_PADDING_SEEN),
+        ]
+        return lines
+
+
+@dataclass(frozen=True)
+class PrefixFate:
+    """Outcome of the anomaly for one of Facebook's ten prefixes."""
+
+    prefix: str
+    #: whether Facebook announced this prefix through the Korean ISP
+    announced_via_korea: bool
+    #: whether AT&T's route to the prefix changed during the anomaly
+    affected: bool
+    att_path_before: tuple[int, ...]
+    att_path_after: tuple[int, ...]
+
+
+def replay_all_prefixes() -> list[PrefixFate]:
+    """Replay the anomaly for every one of Facebook's ten prefixes.
+
+    The paper observed: "among all ten prefixes announced by Facebook,
+    only two prefixes, 69.171.224.0/20 and 69.171.255.0/24, are
+    affected.  Using Planetlab based traceroute experiments, we found
+    that most of the Facebook front-end web servers are in these two
+    prefixes."  The mechanism: only the front-end prefixes were
+    announced through the trans-Pacific provider (the Korean ISP), so
+    only their announcements ever passed through the AS that stripped
+    the padding.  We model exactly that per-prefix announcement policy:
+    the two affected prefixes are announced to both providers (padded
+    5x), the other eight only to Level3 — and assert the attack touches
+    exactly the former.
+    """
+    graph, _labels = build_facebook_topology()
+    engine = PropagationEngine(graph)
+    fates: list[PrefixFate] = []
+    for prefix in FACEBOOK_PREFIXES:
+        via_korea = prefix in AFFECTED_PREFIXES
+        prepending = PrependingPolicy()
+        prepending.set_padding(AS_FACEBOOK, AS_LEVEL3, FACEBOOK_PADDING)
+        if via_korea:
+            prepending.set_padding(AS_FACEBOOK, AS_KOREAN_ISP, FACEBOOK_PADDING)
+            working_graph = graph
+            working_engine = engine
+        else:
+            # Not announced through Korea at all: model by removing the
+            # Facebook-Korea adjacency for this prefix's propagation.
+            working_graph = graph.copy()
+            working_graph.remove_edge(AS_KOREAN_ISP, AS_FACEBOOK)
+            working_engine = PropagationEngine(working_graph)
+        result = simulate_interception(
+            working_engine,
+            victim=AS_FACEBOOK,
+            attacker=AS_KOREAN_ISP,
+            origin_padding=FACEBOOK_PADDING,
+            prefix=prefix,
+            keep=ANOMALY_PADDING_SEEN,
+            prepending=prepending,
+        )
+        before = result.baseline.path_of(AS_ATT) or ()
+        after = result.attacked.path_of(AS_ATT) or ()
+        fates.append(
+            PrefixFate(
+                prefix=prefix,
+                announced_via_korea=via_korea,
+                affected=before != after,
+                att_path_before=before,
+                att_path_after=after,
+            )
+        )
+    return fates
+
+
+def replay_facebook_anomaly(prefix: str = "69.171.224.0/20") -> FacebookReplay:
+    """Replay the anomaly under the "AS9318 stripped two pads" hypothesis.
+
+    Facebook pads every origination with 5 copies; the Korean ISP
+    re-announces with only 3 copies (``keep=3``).  The replay asserts
+    the paper's observations hold in-engine: AT&T and NTT abandon the
+    6-hop Level3 route for the 5-hop route through China Telecom.
+    """
+    graph, labels = build_facebook_topology()
+    engine = PropagationEngine(graph)
+    prepending = PrependingPolicy.uniform_origin(AS_FACEBOOK, FACEBOOK_PADDING)
+    result = simulate_interception(
+        engine,
+        victim=AS_FACEBOOK,
+        attacker=AS_KOREAN_ISP,
+        origin_padding=FACEBOOK_PADDING,
+        prefix=prefix,
+        keep=ANOMALY_PADDING_SEEN,
+        prepending=prepending,
+    )
+    return FacebookReplay(graph=graph, labels=labels, prefix=prefix, result=result)

@@ -1,0 +1,127 @@
+"""Data-plane traceroute simulation (the paper's Table I).
+
+The paper verifies the control-plane anomaly on the data plane with a
+traceroute from an AT&T customer to Facebook: the forwarding path
+follows the anomalous BGP route through China and Korea, and the RTT
+jumps from ~50 ms to ~250 ms at the trans-Pacific hops.  Both signals
+are functions of (a) the AS-level forwarding path and (b) where those
+ASes are, so we reproduce them with a geography-annotated hop/latency
+model:
+
+* each AS is assigned a region; consecutive regions contribute a
+  one-way inter-region latency from a small distance matrix;
+* each AS expands to 1-3 router hops with a few ms of intra-AS delay;
+* hop IPs are synthetic but deterministic per (ASN, hop index), drawn
+  from documentation ranges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bgp.aspath import collapse_prepending
+from repro.exceptions import SimulationError
+
+__all__ = ["TracerouteHop", "TracerouteSimulator", "DEFAULT_REGION_DELAYS"]
+
+#: One-way inter-region propagation delays in milliseconds.
+DEFAULT_REGION_DELAYS: dict[frozenset[str], float] = {
+    frozenset({"us"}): 15.0,
+    frozenset({"us", "eu"}): 45.0,
+    frozenset({"us", "cn"}): 60.0,
+    frozenset({"us", "kr"}): 55.0,
+    frozenset({"cn", "kr"}): 12.0,
+    frozenset({"cn"}): 8.0,
+    frozenset({"kr"}): 6.0,
+    frozenset({"eu"}): 10.0,
+    frozenset({"eu", "cn"}): 90.0,
+    frozenset({"eu", "kr"}): 95.0,
+}
+
+#: Default delay for region pairs missing from the matrix.
+_FALLBACK_INTER_REGION_MS = 60.0
+#: Per-router-hop processing/intra-PoP delay.
+_INTRA_AS_HOP_MS = 1.5
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One row of a simulated traceroute."""
+
+    index: int
+    rtt_ms: float
+    ip: str
+    asn: int
+
+    def as_row(self) -> tuple[int, str, str, str]:
+        """(hop, delay, ip, asn) formatted like the paper's Table I."""
+        return (self.index, f"{self.rtt_ms:.0f} ms", self.ip, f"AS{self.asn}")
+
+
+@dataclass
+class TracerouteSimulator:
+    """Simulates a traceroute along a control-plane AS path.
+
+    ``regions`` maps ASN -> region code (``"us"``, ``"cn"``, ...);
+    unknown ASes default to ``default_region``.
+    """
+
+    regions: dict[int, str]
+    default_region: str = "us"
+    region_delays: dict[frozenset[str], float] = field(
+        default_factory=lambda: dict(DEFAULT_REGION_DELAYS)
+    )
+    #: (min, max) router hops materialised inside each AS
+    hops_per_as: tuple[int, int] = (1, 3)
+    seed: int = 7
+
+    def _region(self, asn: int) -> str:
+        return self.regions.get(asn, self.default_region)
+
+    def _inter_region_ms(self, a: str, b: str) -> float:
+        return self.region_delays.get(frozenset({a, b}), _FALLBACK_INTER_REGION_MS)
+
+    @staticmethod
+    def _hop_ip(asn: int, hop: int) -> str:
+        """Deterministic documentation-range IP for (ASN, hop)."""
+        return f"198.51.{asn % 256}.{(asn // 256 + hop) % 250 + 1}"
+
+    def trace(self, source_as: int, path: tuple[int, ...]) -> list[TracerouteHop]:
+        """Simulate a traceroute from ``source_as`` along ``path``.
+
+        ``path`` is the AS-PATH the source's network uses (prepending is
+        collapsed; the source AS itself is traversed first).  Returns
+        the hop list, RTTs cumulative as real traceroute reports them.
+        """
+        as_sequence = (source_as,) + collapse_prepending(path)
+        if len(as_sequence) < 1:
+            raise SimulationError("cannot trace an empty path")
+        rng = random.Random(f"{self.seed}:{source_as}:{as_sequence}")
+        hops: list[TracerouteHop] = []
+        one_way_ms = 1.0  # local first hop
+        hop_index = 1
+        # The customer-side gateway (private address), like Table I row 1.
+        hops.append(TracerouteHop(hop_index, 2 * one_way_ms, "192.168.1.1", source_as))
+        previous_region = self._region(source_as)
+        for asn in as_sequence:
+            region = self._region(asn)
+            if region != previous_region:
+                one_way_ms += self._inter_region_ms(previous_region, region)
+                previous_region = region
+            for _ in range(rng.randint(*self.hops_per_as)):
+                hop_index += 1
+                one_way_ms += _INTRA_AS_HOP_MS + rng.uniform(0.0, 1.0)
+                hops.append(
+                    TracerouteHop(
+                        index=hop_index,
+                        rtt_ms=2 * one_way_ms,
+                        ip=self._hop_ip(asn, hop_index),
+                        asn=asn,
+                    )
+                )
+        return hops
+
+    def end_to_end_rtt(self, source_as: int, path: tuple[int, ...]) -> float:
+        """RTT of the final hop (the destination)."""
+        return self.trace(source_as, path)[-1].rtt_ms

@@ -1,0 +1,171 @@
+"""``repro-aspp`` — command-line driver for the experiment harnesses.
+
+Usage::
+
+    repro-aspp list
+    repro-aspp run fig07
+    repro-aspp run fig13 --seed 11 --scale 0.5
+    repro-aspp all --scale 0.3
+    repro-aspp world --seed 7 --save topology.caida
+    repro-aspp campaign --pairs 50 --padding 3 --monitors 150
+
+``run`` executes one registered experiment with the default
+configuration, optionally overriding any config field that exists on
+that experiment's dataclass (``--seed``, ``--scale``, ...).  ``all``
+runs every experiment in registry order.  ``world`` generates a
+topology, prints its summary and optionally writes it in CAIDA
+serial-1 format.  ``campaign`` runs a quick attack/detection campaign
+through the :class:`~repro.core.InterceptionStudy` façade.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import REGISTRY
+
+__all__ = ["main"]
+
+
+def _apply_overrides(config, overrides: dict[str, object]):
+    """Replace fields of a frozen config dataclass with CLI overrides."""
+    fields = {field.name: field for field in dataclasses.fields(config)}
+    applicable = {}
+    for name, value in overrides.items():
+        if value is None or name not in fields:
+            continue
+        current = getattr(config, name)
+        if isinstance(current, int) and not isinstance(current, bool):
+            value = int(value)
+        elif isinstance(current, float):
+            value = float(value)
+        applicable[name] = value
+    return dataclasses.replace(config, **applicable) if applicable else config
+
+
+def _run_one(experiment_id: str, overrides: dict[str, object]) -> int:
+    config_factory, runner = REGISTRY[experiment_id]
+    config = _apply_overrides(config_factory(), overrides)
+    result = runner(config)
+    print(result.to_text())
+    print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-aspp",
+        description=(
+            "Reproduction harness for 'Studying Impacts of Prefix "
+            "Interception Attack by Exploring BGP AS-PATH Prepending' "
+            "(ICDCS 2012)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    run_parser.add_argument("--seed", type=int, default=None)
+    run_parser.add_argument("--scale", type=float, default=None)
+    run_parser.add_argument("--pairs", type=int, default=None)
+    run_parser.add_argument("--instances", type=int, default=None)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--seed", type=int, default=None)
+    all_parser.add_argument("--scale", type=float, default=None)
+
+    world_parser = subparsers.add_parser(
+        "world", help="generate a topology and print its summary"
+    )
+    world_parser.add_argument("--seed", type=int, default=7)
+    world_parser.add_argument("--scale", type=float, default=1.0)
+    world_parser.add_argument(
+        "--save", type=str, default=None, metavar="PATH",
+        help="also write the topology in CAIDA serial-1 format",
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run a quick attack/detection campaign"
+    )
+    campaign_parser.add_argument("--seed", type=int, default=7)
+    campaign_parser.add_argument("--scale", type=float, default=1.0)
+    campaign_parser.add_argument("--pairs", type=int, default=50)
+    campaign_parser.add_argument("--padding", type=int, default=3)
+    campaign_parser.add_argument("--monitors", type=int, default=150)
+    campaign_parser.add_argument(
+        "--placement", choices=("top-degree", "greedy-cover"), default="top-degree"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in REGISTRY:
+            print(experiment_id)
+        return 0
+    if args.command == "world":
+        return _world(args)
+    if args.command == "campaign":
+        return _campaign(args)
+    overrides = {
+        name: getattr(args, name, None)
+        for name in ("seed", "scale", "pairs", "instances")
+    }
+    if args.command == "run":
+        return _run_one(args.experiment, overrides)
+    status = 0
+    for experiment_id in REGISTRY:
+        status |= _run_one(experiment_id, overrides)
+    return status
+
+
+def _world(args) -> int:
+    from repro.experiments.base import build_world
+    from repro.topology.serialization import save_caida
+    from repro.topology.stats import summarize
+    from repro.utils.tables import format_table
+
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(
+        format_table(
+            ("property", "value"),
+            summarize(world.graph).as_rows(),
+            title=f"Generated topology (seed={args.seed}, scale={args.scale})",
+        )
+    )
+    if args.save:
+        save_caida(
+            world.graph,
+            args.save,
+            header=f"generated by repro-aspp world --seed {args.seed} --scale {args.scale}",
+        )
+        print(f"\nwritten to {args.save}")
+    return 0
+
+
+def _campaign(args) -> int:
+    from repro.core import InterceptionStudy
+
+    study = InterceptionStudy.generate(
+        seed=args.seed,
+        scale=args.scale,
+        monitors=args.monitors,
+        placement=args.placement,
+    )
+    campaign = study.campaign(pairs=args.pairs, padding=args.padding)
+    effective = campaign.effective
+    print(
+        f"campaign: {args.pairs} random attacks, λ={args.padding}, "
+        f"{len(study.collector.monitors)} monitors ({args.placement})"
+    )
+    print(f"  effective attacks:   {len(effective)}/{args.pairs}")
+    print(f"  mean pollution:      {campaign.mean_pollution:.1%}")
+    print(f"  detection rate:      {campaign.detection_rate:.1%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""High-level orchestration of the paper's study.
+
+:class:`~repro.core.study.InterceptionStudy` ties the substrates
+together behind one object: build (or adopt) a world, characterise its
+prepending behaviour, launch interception attacks, detect them from a
+monitor fleet, time the detection, and apply mitigations — the full
+§IV-§VI pipeline in a handful of calls.
+"""
+
+from repro.core.study import AttackCampaign, InterceptionStudy
+
+__all__ = ["InterceptionStudy", "AttackCampaign"]

@@ -1,0 +1,241 @@
+"""The one-stop study object (`InterceptionStudy`).
+
+Downstream users rarely want to wire the engine, collectors, detectors
+and defences by hand; this façade owns a world plus a monitor fleet and
+exposes the paper's workflow directly::
+
+    study = InterceptionStudy.generate(seed=7)
+    result = study.run_attack(victim=study.world.content[0],
+                              attacker=study.world.tier1[0], padding=3)
+    timing = study.detect(result)
+    mitigation = study.defend_reactively(result)
+    campaign = study.campaign(pairs=50, padding=3)
+
+Every component remains reachable (``study.engine``,
+``study.collector`` ...) for users who outgrow the façade.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.attack.interception import InterceptionResult, simulate_interception
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.defense.cautious import simulate_cautious_deployment
+from repro.defense.reactive import MitigationOutcome, reactive_padding_reduction
+from repro.detection.alarms import Confidence
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.monitors import top_degree_monitors
+from repro.detection.placement import greedy_cover_monitors
+from repro.detection.timing import DetectionTiming, detection_timing
+from repro.exceptions import ExperimentError, SimulationError
+from repro.measurement.padding_model import PaddingBehaviorModel
+from repro.measurement.ribs import MonitorRIBs, build_monitor_ribs
+from repro.topology.generators import (
+    GeneratedTopology,
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+from repro.utils.rand import derive_rng, make_rng
+
+__all__ = ["InterceptionStudy", "AttackCampaign"]
+
+
+@dataclass
+class AttackCampaign:
+    """Aggregate results of many attack instances."""
+
+    results: list[InterceptionResult] = field(default_factory=list)
+    timings: list[DetectionTiming] = field(default_factory=list)
+
+    @property
+    def effective(self) -> list[InterceptionResult]:
+        """Instances that captured at least one AS."""
+        return [r for r in self.results if r.report.newly_polluted]
+
+    @property
+    def mean_pollution(self) -> float:
+        """Mean after-attack traversal fraction over all instances."""
+        if not self.results:
+            return 0.0
+        return statistics.mean(r.report.after_fraction for r in self.results)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of effective attacks the monitor fleet detected."""
+        relevant = [
+            timing
+            for result, timing in zip(self.results, self.timings)
+            if result.report.newly_polluted
+        ]
+        if not relevant:
+            return 0.0
+        return sum(t.detected for t in relevant) / len(relevant)
+
+
+class InterceptionStudy:
+    """A world plus a monitor fleet, ready to run the paper's study."""
+
+    def __init__(
+        self,
+        world: GeneratedTopology,
+        *,
+        monitors: int = 150,
+        placement: str = "top-degree",
+        seed: int = 7,
+    ) -> None:
+        """``placement`` is ``"top-degree"`` (the paper's) or
+        ``"greedy-cover"`` (the optimised future-work strategy)."""
+        self._world = world
+        self._seed = seed
+        self._engine = PropagationEngine(world.graph)
+        count = min(monitors, len(world.graph))
+        if placement == "top-degree":
+            fleet = top_degree_monitors(world.graph, count)
+        elif placement == "greedy-cover":
+            fleet = greedy_cover_monitors(world.graph, count)
+        else:
+            raise SimulationError(
+                f"unknown placement {placement!r}; use 'top-degree' or 'greedy-cover'"
+            )
+        self._collector = RouteCollector(world.graph, fleet)
+        self._detector = ASPPInterceptionDetector(world.graph)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        *,
+        seed: int = 7,
+        scale: float = 1.0,
+        config: InternetTopologyConfig | None = None,
+        monitors: int = 150,
+        placement: str = "top-degree",
+    ) -> "InterceptionStudy":
+        """Generate a fresh Internet-like world and wrap it in a study."""
+        topo_rng = derive_rng(make_rng(seed), "topology")
+        cfg = config if config is not None else InternetTopologyConfig().scaled(scale)
+        world = generate_internet_topology(cfg, topo_rng)
+        return cls(world, monitors=monitors, placement=placement, seed=seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def world(self) -> GeneratedTopology:
+        return self._world
+
+    @property
+    def engine(self) -> PropagationEngine:
+        return self._engine
+
+    @property
+    def collector(self) -> RouteCollector:
+        return self._collector
+
+    @property
+    def detector(self) -> ASPPInterceptionDetector:
+        return self._detector
+
+    # ------------------------------------------------------------------
+    def characterize_prepending(
+        self, *, num_prefixes: int = 200, model: PaddingBehaviorModel | None = None
+    ) -> MonitorRIBs:
+        """Build monitor routing tables under the empirical ASPP model."""
+        return build_monitor_ribs(
+            self._world.graph,
+            self._collector,
+            num_prefixes=num_prefixes,
+            model=model or PaddingBehaviorModel(),
+            rng=derive_rng(make_rng(self._seed), "study-ribs"),
+            engine=self._engine,
+        )
+
+    def run_attack(
+        self,
+        *,
+        victim: int,
+        attacker: int,
+        padding: int,
+        violate_policy: bool = False,
+        strip_mode: str = "origin",
+    ) -> InterceptionResult:
+        """Launch one ASPP interception instance."""
+        return simulate_interception(
+            self._engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=padding,
+            violate_policy=violate_policy,
+            strip_mode=strip_mode,
+        )
+
+    def detect(
+        self,
+        result: InterceptionResult,
+        *,
+        min_confidence: Confidence = Confidence.LOW,
+        attacker_feeds_collector: bool = True,
+    ) -> DetectionTiming:
+        """Run the Figure-4 detector over the study's monitor fleet."""
+        return detection_timing(
+            result,
+            self._collector,
+            self._detector,
+            min_confidence=min_confidence,
+            attacker_feeds_collector=attacker_feeds_collector,
+        )
+
+    def defend_reactively(
+        self, result: InterceptionResult, *, new_padding: int = 1
+    ) -> MitigationOutcome:
+        """Apply the victim's reactive padding reduction."""
+        return reactive_padding_reduction(
+            self._engine, result, new_padding=new_padding
+        )
+
+    def defend_cautiously(
+        self,
+        result: InterceptionResult,
+        *,
+        deployment_fraction: float,
+        rng: random.Random | None = None,
+    ):
+        """Residual pollution under partial cautious-adoption deployment."""
+        return simulate_cautious_deployment(
+            self._engine,
+            victim=result.attack.victim,
+            attacker=result.attack.attacker,
+            origin_padding=result.origin_padding,
+            deployment_fraction=deployment_fraction,
+            rng=rng or derive_rng(make_rng(self._seed), "study-deploy"),
+        )
+
+    def campaign(
+        self,
+        *,
+        pairs: int,
+        padding: int,
+        attacker_pool: list[int] | None = None,
+        victim_pool: list[int] | None = None,
+        rng: random.Random | None = None,
+    ) -> AttackCampaign:
+        """Run many random attack instances and detect each one."""
+        if pairs < 1:
+            raise ExperimentError("a campaign needs at least one pair")
+        rng = rng or derive_rng(make_rng(self._seed), "study-campaign")
+        attackers = attacker_pool if attacker_pool is not None else self._world.transit_ases
+        victims = victim_pool if victim_pool is not None else self._world.graph.ases
+        campaign = AttackCampaign()
+        while len(campaign.results) < pairs:
+            attacker = rng.choice(attackers)
+            victim = rng.choice(victims)
+            if attacker == victim:
+                continue
+            result = self.run_attack(
+                victim=victim, attacker=attacker, padding=padding
+            )
+            campaign.results.append(result)
+            campaign.timings.append(self.detect(result))
+        return campaign

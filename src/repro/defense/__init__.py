@@ -1,0 +1,34 @@
+"""Mitigation and prevention of ASPP interception (the paper's §VIII
+future work: "Developing attack prevention schemes is also in our
+future agenda").
+
+Three defenses are implemented, each measurable through the same
+pollution metrics as the attack itself:
+
+* :mod:`repro.defense.reactive` — the prefix owner's unilateral
+  response: after an alarm, stop prepending (or re-announce with less
+  padding), which removes the very length advantage the attacker
+  exploited;
+* :mod:`repro.defense.cautious` — PGBGP-flavoured *cautious padding
+  adoption* deployed by transit ASes: a deploying AS refuses to adopt
+  a route whose origin padding is lower than the padding historically
+  observed through the same victim-adjacent AS;
+* the prefix-owner self-check lives in
+  :mod:`repro.detection.selfcheck` (detection-side, but part of the
+  same defence story).
+"""
+
+from repro.defense.cautious import (
+    CautiousPaddingGuard,
+    build_padding_registry,
+    simulate_cautious_deployment,
+)
+from repro.defense.reactive import MitigationOutcome, reactive_padding_reduction
+
+__all__ = [
+    "reactive_padding_reduction",
+    "MitigationOutcome",
+    "CautiousPaddingGuard",
+    "build_padding_registry",
+    "simulate_cautious_deployment",
+]

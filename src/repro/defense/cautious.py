@@ -1,0 +1,131 @@
+"""Cautious padding adoption: a PGBGP-style distributed defence.
+
+Pretty Good BGP (Karlin et al., cited by the paper) delays adopting
+*novel* routes; we specialise the idea to the ASPP attack's signature.
+A deploying AS remembers, per (origin, victim-adjacent AS) pair, the
+origin padding it has historically observed, and **refuses to adopt a
+route whose padding is lower than that history** — exactly the
+modification an ASPP interceptor makes.  Legitimate traffic-engineering
+changes by the origin eventually refresh the history (modelled by the
+registry's explicit update API); a freshly stripped route is rejected
+immediately.
+
+Deployment is partial in practice, so
+:func:`simulate_cautious_deployment` measures residual pollution as a
+function of the deploying fraction — the ablation DESIGN.md calls for.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.attack.impact import PollutionReport, pollution_report
+from repro.bgp.aspath import split_origin_padding
+from repro.bgp.engine import ImportFilter, PropagationEngine, PropagationOutcome
+from repro.bgp.policy import ExportPolicy
+from repro.bgp.prepending import PrependingPolicy
+from repro.attack.interception import ASPPInterceptionAttack
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "build_padding_registry",
+    "CautiousPaddingGuard",
+    "simulate_cautious_deployment",
+]
+
+
+def build_padding_registry(
+    outcome: PropagationOutcome, origin: int
+) -> dict[int, int]:
+    """Historical padding per victim-adjacent AS, from a converged state.
+
+    Maps each first-hop neighbour ``AS_1`` of ``origin`` to the origin
+    padding observed on routes entering through it.  In a converged
+    honest world every route through a given ``AS_1`` carries the same
+    padding, so the registry is well-defined.
+    """
+    registry: dict[int, int] = {}
+    for asn, route in outcome.best.items():
+        if asn == origin or route is None or not route.path:
+            continue
+        if route.path[-1] != origin:
+            continue
+        head, _, padding = split_origin_padding(route.path)
+        stripped_head = [hop for hop in head if hop != origin]
+        first_hop = stripped_head[-1] if stripped_head else asn
+        known = registry.get(first_hop)
+        registry[first_hop] = padding if known is None else min(known, padding)
+    return registry
+
+
+class CautiousPaddingGuard:
+    """The import filter a deploying AS installs.
+
+    Rejects offers for ``origin``'s prefix whose padding undercuts the
+    registry's history for the same first hop.  Unknown first hops are
+    accepted (no history, no judgement), as are routes for other
+    origins.
+    """
+
+    def __init__(self, origin: int, registry: dict[int, int]) -> None:
+        self._origin = origin
+        self._registry = dict(registry)
+
+    def refresh(self, first_hop: int, padding: int) -> None:
+        """Record a legitimately learned padding (history refresh)."""
+        self._registry[first_hop] = padding
+
+    def __call__(self, sender: int, path: tuple[int, ...]) -> bool:
+        if not path or path[-1] != self._origin:
+            return True
+        head, _, padding = split_origin_padding(path)
+        stripped_head = [hop for hop in head if hop != self._origin]
+        first_hop = stripped_head[-1] if stripped_head else sender
+        known = self._registry.get(first_hop)
+        return known is None or padding >= known
+
+
+def simulate_cautious_deployment(
+    engine: PropagationEngine,
+    *,
+    victim: int,
+    attacker: int,
+    origin_padding: int,
+    deployment_fraction: float,
+    rng: random.Random,
+    deployers: Iterable[int] | None = None,
+) -> PollutionReport:
+    """Measure residual attack pollution under partial deployment.
+
+    ``deployment_fraction`` of all ASes (sampled by ``rng``, or the
+    explicit ``deployers``) install a :class:`CautiousPaddingGuard`
+    built from the honest baseline.  Returns the pollution report of
+    the attack against the defended network.
+    """
+    if not 0.0 <= deployment_fraction <= 1.0:
+        raise SimulationError("deployment fraction must be in [0, 1]")
+    prepending = PrependingPolicy.uniform_origin(victim, origin_padding)
+    baseline = engine.propagate(victim, prepending=prepending)
+    registry = build_padding_registry(baseline, victim)
+
+    graph_ases = [asn for asn in engine.graph.ases if asn not in (victim, attacker)]
+    if deployers is None:
+        count = round(deployment_fraction * len(graph_ases))
+        deployers = rng.sample(graph_ases, count) if count else []
+    filters: dict[int, ImportFilter] = {
+        asn: CautiousPaddingGuard(victim, registry) for asn in deployers
+    }
+
+    attack = ASPPInterceptionAttack(attacker=attacker, victim=victim)
+    attacked = engine.propagate(
+        victim,
+        prepending=prepending,
+        modifiers={attacker: attack.modifier()},
+        export_policy=ExportPolicy(),
+        warm_start=baseline,
+        import_filters=filters,
+    )
+    return pollution_report(
+        baseline=baseline, attacked=attacked, attacker=attacker, victim=victim
+    )

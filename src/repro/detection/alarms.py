@@ -1,0 +1,58 @@
+"""Alarm records produced by the detectors.
+
+The paper's algorithm raises alarms at two confidence levels: a direct
+padding inconsistency on a shared path segment is reported with high
+confidence ("Raise Alarm: detect attack!"), while relationship-based
+hints — a neighbour that should have received and preferred the shorter
+route but didn't — are reported with low confidence ("Raise Alarm:
+possible attack!"), since inferred AS relationships may be inaccurate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Confidence", "Alarm"]
+
+
+class Confidence(enum.Enum):
+    """How certain the detector is about the alarm."""
+
+    HIGH = "high"
+    LOW = "low"
+
+    def __lt__(self, other: "Confidence") -> bool:
+        order = {Confidence.LOW: 0, Confidence.HIGH: 1}
+        if not isinstance(other, Confidence):
+            return NotImplemented
+        return order[self] < order[other]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One detection alarm for ``prefix``.
+
+    ``suspect`` is the AS the detector believes modified the route
+    (``None`` when the evidence does not localise the modifier), and
+    ``removed_pads`` the number of padded ASNs it removed (when known).
+    """
+
+    prefix: str
+    monitor: int
+    confidence: Confidence
+    suspect: int | None
+    removed_pads: int | None
+    evidence: str
+
+    def __str__(self) -> str:
+        who = f"AS{self.suspect}" if self.suspect is not None else "unknown AS"
+        pads = (
+            f" removed {self.removed_pads} padded ASN(s)"
+            if self.removed_pads is not None
+            else ""
+        )
+        return (
+            f"[{self.confidence.value.upper()}] {self.prefix}: {who}{pads} "
+            f"(seen at monitor AS{self.monitor}; {self.evidence})"
+        )

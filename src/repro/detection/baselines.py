@@ -1,0 +1,88 @@
+"""Baseline routing-anomaly detectors.
+
+The paper motivates the ASPP attack by showing the established
+detectors are blind to it:
+
+* **MOAS / PHAS-style** control-plane detection catches origin-AS
+  hijacks because the prefix suddenly has multiple origins — but the
+  ASPP attacker keeps the true origin;
+* **new-link** detection (e.g. "A firewall for routers") catches
+  Ballani-style path shortening because the announcement fabricates an
+  AS edge — but the ASPP attacker only removes duplicated ASNs and
+  every adjacency on its route is real.
+
+Both are implemented here and the test suite asserts exactly that
+blindness for the ASPP attack (and sensitivity for the baselines).
+"""
+
+from __future__ import annotations
+
+from repro.bgp.aspath import collapse_prepending
+from repro.bgp.collectors import MonitorView
+from repro.detection.alarms import Alarm, Confidence
+from repro.topology.asgraph import ASGraph
+
+__all__ = ["detect_moas", "detect_new_links"]
+
+
+def detect_moas(view: MonitorView) -> list[Alarm]:
+    """Flag the prefix when monitors disagree about its origin AS."""
+    origins: dict[int, list[int]] = {}
+    for monitor, route in sorted(view.routes.items()):
+        if route is None or not route.path:
+            continue
+        origins.setdefault(route.path[-1], []).append(monitor)
+    if len(origins) <= 1:
+        return []
+    ranked = sorted(origins.items(), key=lambda item: (-len(item[1]), item[0]))
+    majority_origin = ranked[0][0]
+    alarms = []
+    for origin, monitors in ranked[1:]:
+        alarms.append(
+            Alarm(
+                prefix=view.prefix,
+                monitor=monitors[0],
+                confidence=Confidence.HIGH,
+                suspect=origin,
+                removed_pads=None,
+                evidence=(
+                    f"MOAS conflict: origin AS{origin} seen at "
+                    f"{len(monitors)} monitor(s) while majority sees "
+                    f"AS{majority_origin}"
+                ),
+            )
+        )
+    return alarms
+
+
+def detect_new_links(view: MonitorView, known_topology: ASGraph) -> list[Alarm]:
+    """Flag routes that traverse an AS-level edge absent from the topology.
+
+    ``known_topology`` plays the role of the long-term link database a
+    topology-anomaly monitor accumulates.  Prepending runs are collapsed
+    first, so ASPP (legitimate or stripped) never creates a "new" link.
+    """
+    alarms: list[Alarm] = []
+    seen_pairs: set[tuple[int, int]] = set()
+    for monitor, route in sorted(view.routes.items()):
+        if route is None or not route.path:
+            continue
+        core = collapse_prepending(route.path)
+        for a, b in zip(core, core[1:]):
+            pair = (min(a, b), max(a, b))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            if a in known_topology and b in known_topology and known_topology.has_edge(a, b):
+                continue
+            alarms.append(
+                Alarm(
+                    prefix=view.prefix,
+                    monitor=monitor,
+                    confidence=Confidence.HIGH,
+                    suspect=a,
+                    removed_pads=None,
+                    evidence=f"AS-level link AS{a}-AS{b} never seen in topology",
+                )
+            )
+    return alarms

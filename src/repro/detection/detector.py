@@ -1,0 +1,279 @@
+"""The ASPP-interception detection algorithm (the paper's Figure 4).
+
+Key observation (§V-A): *following the same AS path, at any given time,
+an AS cannot receive two routes with two different padded ASN counts* —
+an origin applies one consistent prepending policy per neighbour, so
+two monitors observing the same path segment ``[AS_{I-1} ... AS_1]``
+towards the origin must see the same padding ``λ``.
+
+The detector therefore watches each monitor for a route change that
+*decreases* the padding, and then:
+
+1. **Direct symptom (high confidence)** — searches the current routes
+   of *all ASes visible to the monitoring system* for one sharing a
+   path segment with the changed route but carrying *more* padding.
+   Destination-based routing means each observed path reveals the
+   route of every AS along it ("the total ASes n are larger than the
+   number of monitors"), so the search space is the set of all
+   suffixes of all monitor paths.  When segment ``[AS_{I-1} ... AS_1]``
+   is observed once with padding ``λ_l`` and once with ``λ_t < λ_l``,
+   the AS announcing the shorter variant (``AS_I``) must have removed
+   ``λ_l − λ_t`` padded ASNs.
+2. **Hints (low confidence)** — if no shared segment exists, looks for
+   a neighbour ``AS'_L`` of ``AS_{I-1}`` that selected a *longer*
+   padded route even though, given the inferred business
+   relationships, it should have received and preferred the shorter
+   one.  Because relationship inference is imperfect these alarms are
+   flagged low-confidence.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.aspath import collapse_prepending, split_origin_padding
+from repro.bgp.collectors import CollectorFeed, MonitorView
+from repro.bgp.route import Route
+from repro.detection.alarms import Alarm, Confidence
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+
+__all__ = ["ASPPInterceptionDetector"]
+
+
+class ASPPInterceptionDetector:
+    """Passive detector over collector feeds.
+
+    ``graph`` supplies the (possibly inferred) AS relationships used by
+    the low-confidence hint stage; pass the inference output in a real
+    deployment, or the ground-truth graph in simulation.
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    def scan_feed(self, feed: CollectorFeed) -> list[Alarm]:
+        """Inspect every route change in ``feed`` and collect alarms."""
+        alarms: list[Alarm] = []
+        for monitor, previous, current, view in feed.changes():
+            alarms.extend(self.inspect_change(monitor, previous, current, view))
+        return alarms
+
+    def inspect_change(
+        self,
+        monitor: int,
+        previous: Route | None,
+        current: Route | None,
+        view: MonitorView,
+    ) -> list[Alarm]:
+        """Apply the Figure-4 algorithm to one observed route change."""
+        if previous is None or current is None:
+            return []  # fresh announcement or withdrawal: not an ASPP symptom
+        if not previous.path or not current.path:
+            return []
+        if previous.path[-1] != current.path[-1]:
+            return []  # origin changed: that is a MOAS event, not ASPP
+
+        _, origin, padding_before = split_origin_padding(previous.path)
+        head_now, _, padding_now = split_origin_padding(current.path)
+        if padding_now >= padding_before:
+            return []  # padding did not decrease: nothing to check
+
+        core_now = collapse_prepending(head_now)
+        if not core_now:
+            # The monitor is the victim's direct neighbour; there is no
+            # intermediate AS that could have modified the route.
+            return []
+        suspect = core_now[0]  # AS_I: first AS on the shorter route
+        segment_now = core_now[1:]  # [AS_{I-1} ... AS_1]
+
+        alarms = self._direct_symptom(
+            monitor, view, origin, core_now, padding_now
+        )
+        if alarms:
+            return alarms
+        return self._policy_hints(
+            monitor, view, origin, suspect, segment_now, core_now, padding_now
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _segment_paddings(
+        view: MonitorView, origin: int, exclude_monitor: int
+    ) -> dict[tuple[int, ...], list[tuple[int, int]]]:
+        """Index every path segment visible to the monitoring system.
+
+        For each monitor path ``[a_0 ... a_k V^λ]`` (collapsed), every
+        suffix ``[a_i ... a_k]`` is the route of AS ``a_{i-1}``'s
+        next hop — destination-based routing makes the observation
+        valid for all of them.  The index maps each segment
+        ``[a_{i+1} ... a_k]`` (the part below the announcing AS
+        ``a_i``) to the ``(padding, announcing AS)`` pairs observed.
+        """
+        index: dict[tuple[int, ...], list[tuple[int, int]]] = {}
+        for other_monitor, route in sorted(view.routes.items()):
+            if other_monitor == exclude_monitor or route is None or not route.path:
+                continue
+            if route.path[-1] != origin:
+                continue
+            head, _, padding = split_origin_padding(route.path)
+            # The monitor itself is the outermost AS announcing this
+            # route (the paper's example compares [E A V V V] against
+            # [M A V] — the monitor E included).
+            core = (other_monitor,) + collapse_prepending(head)
+            for i in range(len(core)):
+                index.setdefault(core[i + 1 :], []).append((padding, core[i]))
+        return index
+
+    def _direct_symptom(
+        self,
+        monitor: int,
+        view: MonitorView,
+        origin: int,
+        core_now: tuple[int, ...],
+        padding_now: int,
+    ) -> list[Alarm]:
+        """Stage 1: same segment observed elsewhere with more padding.
+
+        Both the changed route and the other monitors' routes are
+        expanded into all their suffixes (see :meth:`_segment_paddings`),
+        so an inconsistency is caught even when the monitors are many
+        hops above the modification point.
+        """
+        index = self._segment_paddings(view, origin, monitor)
+        alarms: list[Alarm] = []
+        extended_now = (monitor,) + core_now
+        for i in range(len(extended_now)):
+            segment = extended_now[i + 1 :]
+            observations = index.get(segment)
+            if not observations:
+                continue
+            via = extended_now[i]  # the AS announcing the short variant
+            for padding_other, other_via in observations:
+                if not segment and other_via != via:
+                    # An empty segment means both routes sit directly on
+                    # the victim's edge: different first-hop neighbours
+                    # may legitimately receive different padding (per-
+                    # neighbour traffic engineering, Figure 3), so only
+                    # the *same* neighbour showing two paddings is
+                    # inconsistent.
+                    continue
+                if padding_other > padding_now:
+                    alarms.append(
+                        Alarm(
+                            prefix=view.prefix,
+                            monitor=monitor,
+                            confidence=Confidence.HIGH,
+                            suspect=via,
+                            removed_pads=padding_other - padding_now,
+                            evidence=(
+                                f"segment {segment} carries padding "
+                                f"{padding_other} via AS{other_via} elsewhere "
+                                f"but {padding_now} via AS{via} at monitor "
+                                f"AS{monitor}"
+                            ),
+                        )
+                    )
+            if alarms:
+                # The longest shared segment localises the modifier: the
+                # AS immediately above it is the first point where the
+                # short and long observations diverge.
+                break
+        return alarms
+
+    # ------------------------------------------------------------------
+    def _policy_hints(
+        self,
+        monitor: int,
+        view: MonitorView,
+        origin: int,
+        suspect: int,
+        segment_now: tuple[int, ...],
+        core_now: tuple[int, ...],
+        padding_now: int,
+    ) -> list[Alarm]:
+        """Stage 2: relationship-based hints (lower confidence).
+
+        ``AS_{I-1}`` is the AS just below the suspect on the shorter
+        route.  If another monitor's first-hop AS ``AS'_L`` is a
+        neighbour of ``AS_{I-1}`` that holds a *longer* overall route,
+        the shorter route must not have been propagated to it; if the
+        relationships say it *should* have been, something upstream
+        modified the route.
+
+        When the suspect neighbours the victim directly there is no
+        ``AS_{I-1}``: the victim applies per-neighbour padding at will,
+        so no policy conclusion can be drawn (the paper's "direct
+        neighbour of the victim" corner case) and no hint is raised.
+        """
+        if not segment_now:
+            return []
+        as_i_minus_1 = segment_now[0]
+        length_now = len(core_now) + padding_now
+        alarms: list[Alarm] = []
+        for other_monitor, route in sorted(view.routes.items()):
+            if other_monitor == monitor or route is None or not route.path:
+                continue
+            if route.path[-1] != origin:
+                continue
+            head_other, _, padding_other = split_origin_padding(route.path)
+            core_other = collapse_prepending(head_other)
+            if padding_now >= padding_other:
+                continue
+            if not core_other:
+                continue
+            as_l = core_other[0]
+            length_other = len(core_other) + padding_other
+            if length_other <= length_now:
+                continue
+            relationship = self._graph.relationship(as_l, as_i_minus_1)
+            hint: str | None = None
+            if relationship is Relationship.CUSTOMER:
+                # AS_{I-1} is AS'_L's customer: a customer route to the
+                # prefix existed and would have been preferred.
+                hint = (
+                    f"AS{as_l} uses a longer route although its customer "
+                    f"AS{as_i_minus_1} held the shorter one"
+                )
+            elif relationship is Relationship.PEER and not self._has_peer_link(core_now + (origin,)):
+                # AS_{I-1} held an all-customer (uphill) route, which it
+                # must export to its peers.
+                hint = (
+                    f"AS{as_l} peers with AS{as_i_minus_1}, whose shorter "
+                    f"route is customer-learned and thus exportable to peers"
+                )
+            elif relationship is Relationship.PROVIDER and self._first_hop_is_provider(
+                core_other
+            ):
+                # AS'_L already uses a provider route; its provider
+                # AS_{I-1} exports everything to customers, so the
+                # shorter route should have reached it.
+                hint = (
+                    f"AS{as_l} uses a provider route although its provider "
+                    f"AS{as_i_minus_1} held a shorter one"
+                )
+            if hint is not None:
+                alarms.append(
+                    Alarm(
+                        prefix=view.prefix,
+                        monitor=monitor,
+                        confidence=Confidence.LOW,
+                        suspect=suspect,
+                        removed_pads=padding_other - padding_now,
+                        evidence=hint,
+                    )
+                )
+        return alarms
+
+    def _has_peer_link(self, core_path: tuple[int, ...]) -> bool:
+        """True when any adjacent pair on ``core_path`` is a peering edge."""
+        for a, b in zip(core_path, core_path[1:]):
+            if self._graph.relationship(a, b) is Relationship.PEER:
+                return True
+        return False
+
+    def _first_hop_is_provider(self, core_other: tuple[int, ...]) -> bool:
+        """True when ``AS'_L`` learned its current route from a provider."""
+        if len(core_other) < 2:
+            return False
+        as_l, as_l_minus_1 = core_other[0], core_other[1]
+        return self._graph.relationship(as_l, as_l_minus_1) is Relationship.PROVIDER

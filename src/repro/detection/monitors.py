@@ -1,0 +1,81 @@
+"""Vantage-point (monitor) selection strategies.
+
+The paper evaluates detection accuracy against the number of monitors,
+ranking "all ASes based on their degrees and select[ing] the top d
+monitors" (Figure 13), and names smarter monitor selection as future
+work.  We implement the paper's strategy plus two alternatives used by
+the monitor-placement ablation: uniform random selection and
+victim-adjacent placement (monitors close to a protected prefix owner).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Iterable
+
+from repro.exceptions import DetectionError, UnknownASError
+from repro.topology.asgraph import ASGraph
+
+__all__ = ["top_degree_monitors", "random_monitors", "victim_adjacent_monitors"]
+
+
+def _check_count(graph: ASGraph, count: int) -> None:
+    if count < 1:
+        raise DetectionError("monitor count must be positive")
+    if count > len(graph):
+        raise DetectionError(
+            f"requested {count} monitors but the topology has {len(graph)} ASes"
+        )
+
+
+def top_degree_monitors(graph: ASGraph, count: int) -> list[int]:
+    """The paper's strategy: the ``count`` highest-degree ASes.
+
+    Ties break on the lower ASN so the selection is deterministic.
+    """
+    _check_count(graph, count)
+    ranked = sorted(graph.ases, key=lambda asn: (-graph.degree(asn), asn))
+    return ranked[:count]
+
+
+def random_monitors(
+    graph: ASGraph, count: int, rng: random.Random, *, exclude: Iterable[int] = ()
+) -> list[int]:
+    """``count`` monitors sampled uniformly (excluding ``exclude``)."""
+    _check_count(graph, count)
+    excluded = set(exclude)
+    pool = [asn for asn in graph.ases if asn not in excluded]
+    if count > len(pool):
+        raise DetectionError("not enough ASes left after exclusions")
+    return sorted(rng.sample(pool, count))
+
+
+def victim_adjacent_monitors(graph: ASGraph, victim: int, count: int) -> list[int]:
+    """``count`` monitors nearest the victim (BFS by hop distance).
+
+    The paper's corner-case analysis notes that a victim can only catch
+    an adjacent attacker if it has a vantage point on the attacker or
+    one of the attacker's neighbours — placing monitors around the
+    victim approximates that self-defence deployment.  Within each BFS
+    ring, higher-degree ASes are preferred.
+    """
+    if victim not in graph:
+        raise UnknownASError(victim)
+    _check_count(graph, count)
+    distance: dict[int, int] = {victim: 0}
+    queue: deque[int] = deque([victim])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors_of(current):
+            if neighbor not in distance:
+                distance[neighbor] = distance[current] + 1
+                queue.append(neighbor)
+    candidates = [asn for asn in distance if asn != victim]
+    candidates.sort(key=lambda asn: (distance[asn], -graph.degree(asn), asn))
+    if len(candidates) < count:
+        raise DetectionError(
+            f"only {len(candidates)} ASes reachable from the victim; "
+            f"cannot place {count} monitors"
+        )
+    return sorted(candidates[:count])

@@ -1,0 +1,79 @@
+"""Optimised vantage-point placement (the paper's stated future work).
+
+An ASPP interception launched by attacker ``M`` under valley-free
+export pollutes (a subset of) ``M``'s customer cone — so a monitor can
+only witness the attack if it sits *inside* that cone (or is ``M``
+itself).  Conversely, a single monitor ``m`` witnesses attacks by any
+AS on ``m``'s provider-ancestor chains.  Covering all potential
+attackers is therefore a set-cover problem:
+
+    elements   = transit ASes (the possible attackers)
+    set of m   = provider-ancestors(m) ∪ {m}
+
+:func:`greedy_cover_monitors` runs the classical greedy set-cover
+approximation (ln n factor), which concentrates monitors at the *edge*
+— deep stubs cover whole ancestor chains — the opposite of the paper's
+top-degree ranking, and the reason the placement ablation shows
+degree-ranked monitors underperforming.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DetectionError
+from repro.topology.asgraph import ASGraph
+from repro.topology.tiers import provider_ancestors
+
+__all__ = ["greedy_cover_monitors", "attacker_coverage"]
+
+
+def _candidate_cover(graph: ASGraph, monitor: int, transit: frozenset[int]) -> frozenset[int]:
+    covered = set(provider_ancestors(graph, monitor)) & transit
+    if monitor in transit:
+        covered.add(monitor)
+    return frozenset(covered)
+
+
+def greedy_cover_monitors(graph: ASGraph, count: int) -> list[int]:
+    """Choose ``count`` monitors greedily maximising attacker coverage.
+
+    Ties break towards higher degree then lower ASN, so the selection
+    is deterministic.  Once every transit AS is covered, remaining
+    slots are filled by degree (extra redundancy).
+    """
+    if count < 1:
+        raise DetectionError("monitor count must be positive")
+    if count > len(graph):
+        raise DetectionError(
+            f"requested {count} monitors but the topology has {len(graph)} ASes"
+        )
+    transit = frozenset(asn for asn in graph if graph.customers_of(asn))
+    covers = {asn: _candidate_cover(graph, asn, transit) for asn in graph}
+
+    chosen: list[int] = []
+    covered: set[int] = set()
+    remaining = set(graph.ases)
+    while len(chosen) < count:
+        best = max(
+            remaining,
+            key=lambda asn: (len(covers[asn] - covered), graph.degree(asn), -asn),
+        )
+        if not covers[best] - covered:
+            break  # full coverage reached; fill the rest by degree
+        chosen.append(best)
+        covered |= covers[best]
+        remaining.discard(best)
+    if len(chosen) < count:
+        filler = sorted(remaining, key=lambda asn: (-graph.degree(asn), asn))
+        chosen.extend(filler[: count - len(chosen)])
+    return sorted(chosen)
+
+
+def attacker_coverage(graph: ASGraph, monitors: list[int]) -> float:
+    """Fraction of transit ASes whose attacks the monitor set can witness."""
+    transit = frozenset(asn for asn in graph if graph.customers_of(asn))
+    if not transit:
+        return 0.0
+    covered: set[int] = set()
+    for monitor in monitors:
+        covered |= _candidate_cover(graph, monitor, transit)
+    return len(covered) / len(transit)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation on it is invalid.
+
+    Raised, for example, when an edge is added twice with conflicting
+    relationships, when an AS number is invalid, or when a requested AS
+    does not exist in the graph.
+    """
+
+
+class UnknownASError(TopologyError):
+    """An operation referenced an AS number not present in the graph."""
+
+    def __init__(self, asn: int) -> None:
+        super().__init__(f"AS{asn} is not present in the topology")
+        self.asn = asn
+
+
+class DuplicateEdgeError(TopologyError):
+    """An AS-level edge was inserted twice with conflicting relationships."""
+
+
+class ConvergenceError(ReproError):
+    """The BGP propagation engine failed to reach a routing fixpoint.
+
+    Under valley-free export policies the propagation is guaranteed to
+    converge (Gao-Rexford conditions); this error therefore indicates
+    either a policy-violating configuration that induced a dispute wheel
+    or an internal bug.  The engine raises it after a configurable number
+    of worklist operations rather than looping forever.
+    """
+
+    def __init__(self, operations: int) -> None:
+        super().__init__(
+            f"propagation did not converge after {operations} worklist operations"
+        )
+        self.operations = operations
+
+
+class PolicyError(ReproError):
+    """A routing-policy configuration is inconsistent or unsupported."""
+
+
+class SimulationError(ReproError):
+    """A simulation-level precondition failed (e.g. victim == attacker)."""
+
+
+class SerializationError(ReproError):
+    """A topology or RIB file could not be parsed or written."""
+
+
+class DetectionError(ReproError):
+    """The detection pipeline was invoked with inconsistent inputs."""
+
+
+class MeasurementError(ReproError):
+    """A measurement routine received data it cannot characterise."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or produced no data."""

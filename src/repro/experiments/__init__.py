@@ -1,0 +1,84 @@
+"""Experiment harnesses: one module per paper figure/table, plus ablations.
+
+Each module exposes a frozen ``*Config`` dataclass and
+``run(config) -> ExperimentResult``.  The :data:`REGISTRY` maps
+experiment ids to ``(config factory, run function)`` so the CLI and the
+benchmark suite can drive everything uniformly::
+
+    from repro.experiments import REGISTRY
+    config_factory, run = REGISTRY["fig07"]
+    print(run(config_factory()).to_text())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation_defense,
+    ablation_engine,
+    ablation_false_positives,
+    ablation_monitors,
+    ablation_scale,
+    fig01_facebook_replay,
+    fig05_prepending_fraction,
+    fig06_padding_counts,
+    fig07_tier1_pairs,
+    fig08_random_pairs,
+    fig09_tier1_vs_tier1,
+    fig10_tier1_vs_tier3,
+    fig11_stub_vs_tier1,
+    fig12_stub_vs_stub,
+    fig13_detection_accuracy,
+    fig14_pollution_before_detection,
+    table1_traceroute,
+)
+from repro.experiments.base import ExperimentResult, ExperimentWorld, build_world
+
+__all__ = ["REGISTRY", "ExperimentResult", "ExperimentWorld", "build_world", "run_experiment"]
+
+#: experiment id -> (config factory, run function)
+REGISTRY: dict[str, tuple[Callable[[], object], Callable[..., ExperimentResult]]] = {
+    "table1": (table1_traceroute.Table1Config, table1_traceroute.run),
+    "fig01": (fig01_facebook_replay.Fig01Config, fig01_facebook_replay.run),
+    "fig05": (fig05_prepending_fraction.Fig05Config, fig05_prepending_fraction.run),
+    "fig06": (fig06_padding_counts.Fig06Config, fig06_padding_counts.run),
+    "fig07": (fig07_tier1_pairs.Fig07Config, fig07_tier1_pairs.run),
+    "fig08": (fig08_random_pairs.Fig08Config, fig08_random_pairs.run),
+    "fig09": (fig09_tier1_vs_tier1.Fig09Config, fig09_tier1_vs_tier1.run),
+    "fig10": (fig10_tier1_vs_tier3.Fig10Config, fig10_tier1_vs_tier3.run),
+    "fig11": (fig11_stub_vs_tier1.Fig11Config, fig11_stub_vs_tier1.run),
+    "fig12": (fig12_stub_vs_stub.Fig12Config, fig12_stub_vs_stub.run),
+    "fig13": (fig13_detection_accuracy.Fig13Config, fig13_detection_accuracy.run),
+    "fig14": (
+        fig14_pollution_before_detection.Fig14Config,
+        fig14_pollution_before_detection.run,
+    ),
+    "ablation-engine": (ablation_engine.AblationEngineConfig, ablation_engine.run),
+    "ablation-monitors": (
+        ablation_monitors.AblationMonitorsConfig,
+        ablation_monitors.run,
+    ),
+    "ablation-defense": (
+        ablation_defense.AblationDefenseConfig,
+        ablation_defense.run,
+    ),
+    "ablation-scale": (
+        ablation_scale.AblationScaleConfig,
+        ablation_scale.run,
+    ),
+    "ablation-fp": (
+        ablation_false_positives.AblationFalsePositivesConfig,
+        ablation_false_positives.run,
+    ),
+}
+
+
+def run_experiment(experiment_id: str, config: object | None = None) -> ExperimentResult:
+    """Run a registered experiment by id (default config if none given)."""
+    try:
+        config_factory, runner = REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return runner(config if config is not None else config_factory())

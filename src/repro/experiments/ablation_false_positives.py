@@ -1,0 +1,121 @@
+"""Ablation — detector precision under legitimate traffic engineering.
+
+The paper's main detection concern is false positives: "In order to
+lower false positives, the detection algorithm must differentiate the
+malicious case from other legitimate reasons for changing prepending
+behaviors."  This ablation stresses exactly that boundary: worlds where
+origins *legitimately* re-engineer their padding (the events the
+Figure-3 discussion legitimises), with no attacker anywhere, and counts
+the alarms.
+
+Expected: **zero high-confidence alarms** (the direct symptom is
+provably attack-only under the one-policy-per-neighbour assumption —
+also enforced by a property test) and a measurable but bounded
+low-confidence hint rate (the paper flags hints as lower confidence
+precisely because inferred relationships may mislead them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.prepending import PrependingPolicy
+from repro.detection.alarms import Confidence
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.monitors import top_degree_monitors
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentResult, build_world
+from repro.measurement.padding_model import PaddingBehaviorModel
+from repro.utils.rand import derive_rng, make_rng
+
+__all__ = ["AblationFalsePositivesConfig", "run"]
+
+
+@dataclass(frozen=True)
+class AblationFalsePositivesConfig:
+    seed: int = 7
+    scale: float = 1.0
+    #: number of legitimate traffic-engineering events to replay
+    events: int = 120
+    monitors: int = 150
+
+
+def run(
+    config: AblationFalsePositivesConfig = AblationFalsePositivesConfig(),
+) -> ExperimentResult:
+    """Replay legitimate padding changes and count alarms."""
+    if config.events < 1:
+        raise ExperimentError("need at least one TE event")
+    world = build_world(seed=config.seed, scale=config.scale)
+    graph = world.graph
+    rng = derive_rng(make_rng(config.seed), "ablation-fp")
+    model = PaddingBehaviorModel(prepend_prob=1.0)
+    collector = RouteCollector(
+        graph, top_degree_monitors(graph, min(config.monitors, len(graph)))
+    )
+    detector = ASPPInterceptionDetector(graph)
+
+    high = low = 0
+    events_with_visible_change = 0
+    for _ in range(config.events):
+        origin = rng.choice(
+            [asn for asn in graph.ases if len(graph.neighbors_of(asn)) >= 2]
+        )
+        policy = PrependingPolicy()
+        model.configure_origin(graph, origin, policy, rng)
+        before = world.engine.propagate(origin, prepending=policy)
+
+        # The legitimate event: the origin re-pads one neighbour with a
+        # *smaller* count (more inbound traffic there) — the exact
+        # change signature the attack also produces at monitors.
+        neighbor = rng.choice(sorted(graph.neighbors_of(origin)))
+        policy.set_padding(origin, neighbor, 1)
+        after = world.engine.propagate(origin, prepending=policy)
+
+        before_view = collector.snapshot(before)
+        after_view = collector.snapshot(after)
+        changed = False
+        for monitor in collector.monitors:
+            previous, current = before_view.routes[monitor], after_view.routes[monitor]
+            if previous == current:
+                continue
+            changed = True
+            for alarm in detector.inspect_change(monitor, previous, current, after_view):
+                if alarm.confidence is Confidence.HIGH:
+                    high += 1
+                else:
+                    low += 1
+        events_with_visible_change += changed
+
+    rows = [
+        ("legitimate TE events", config.events),
+        ("events visible at monitors", events_with_visible_change),
+        ("high-confidence false alarms", high),
+        ("low-confidence hint alarms", low),
+    ]
+    summary = {
+        "events": float(config.events),
+        "high_confidence_false_alarms": float(high),
+        "low_hints_per_visible_event": (
+            low / events_with_visible_change if events_with_visible_change else 0.0
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="ablation-fp",
+        title="Detector precision under legitimate prepending changes",
+        params={
+            "events": config.events,
+            "monitors": config.monitors,
+            "seed": config.seed,
+            "scale": config.scale,
+        },
+        headers=("statistic", "value"),
+        rows=rows,
+        summary=summary,
+        notes=[
+            "the direct (high-confidence) symptom never fires on legitimate "
+            "traffic engineering — the property the paper's §V-A argument "
+            "establishes; relationship hints remain lower confidence"
+        ],
+    )

@@ -1,0 +1,134 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment module exposes a frozen ``*Config`` dataclass and a
+``run(config) -> ExperimentResult`` function.  The result carries the
+same rows/series the paper's figure reports, renders itself as text
+(what the benchmark harness prints), and exposes a compact summary for
+EXPERIMENTS.md.
+
+All experiments are deterministic: the topology, workload, and any
+sampling derive from ``config.seed`` through labelled sub-streams, so a
+figure regenerates bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.bgp.engine import PropagationEngine
+from repro.exceptions import ExperimentError
+from repro.topology.generators import (
+    GeneratedTopology,
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+from repro.topology.tiers import provider_ancestors
+from repro.utils.rand import derive_rng, make_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentWorld",
+    "build_world",
+    "provider_ancestors",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated artefact for one paper figure or table."""
+
+    experiment_id: str
+    title: str
+    params: dict[str, object] = field(default_factory=dict)
+    #: column headers + rows, mirroring the figure's plotted points
+    headers: tuple[str, ...] = ()
+    rows: list[tuple[object, ...]] = field(default_factory=list)
+    #: named scalar findings (the numbers quoted in the paper's prose)
+    summary: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the result the way the benchmark harness prints it."""
+        parts = [f"{self.experiment_id}: {self.title}"]
+        if self.params:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.params.items())
+            parts.append(f"params: {rendered}")
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.summary:
+            parts.append("summary:")
+            parts.extend(
+                f"  {key} = {value:.4g}" for key, value in self.summary.items()
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+@dataclass
+class ExperimentWorld:
+    """A generated topology with its shared propagation engine."""
+
+    topology: GeneratedTopology
+    engine: PropagationEngine
+    seed: int
+    scale: float
+
+    @property
+    def graph(self):
+        return self.topology.graph
+
+
+def build_world(
+    *,
+    seed: int = 7,
+    scale: float = 1.0,
+    config: InternetTopologyConfig | None = None,
+) -> ExperimentWorld:
+    """Build the experiment substrate (topology + engine).
+
+    ``scale`` multiplies the default population counts — benchmarks run
+    at 1.0, unit tests at ~0.2.  Passing an explicit ``config`` ignores
+    ``scale``.
+    """
+    rng = make_rng(seed)
+    topo_rng = derive_rng(rng, "topology")
+    cfg = config if config is not None else InternetTopologyConfig().scaled(scale)
+    topology = generate_internet_topology(cfg, topo_rng)
+    return ExperimentWorld(
+        topology=topology,
+        engine=PropagationEngine(topology.graph),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def sample_attack_pairs(
+    world: ExperimentWorld,
+    count: int,
+    rng: random.Random,
+    *,
+    attacker_pool: Iterable[int] | None = None,
+    victim_pool: Iterable[int] | None = None,
+) -> list[tuple[int, int]]:
+    """Sample ``count`` (attacker, victim) pairs.
+
+    Attackers default to the transit pool: a valley-free attacker with
+    no customers has nowhere to export a modified route, so including
+    pure stubs would only measure no-ops (see
+    ``GeneratedTopology.transit_ases``).  Victims default to all ASes.
+    """
+    attackers = list(attacker_pool) if attacker_pool is not None else world.topology.transit_ases
+    victims = list(victim_pool) if victim_pool is not None else world.graph.ases
+    if not attackers or len(victims) < 2:
+        raise ExperimentError("attack-pair pools are too small")
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        attacker = rng.choice(attackers)
+        victim = rng.choice(victims)
+        if victim != attacker:
+            pairs.append((attacker, victim))
+    return pairs

@@ -1,0 +1,70 @@
+"""Figure 1 — the Facebook routing-anomaly instance (BGP-level replay).
+
+The paper's Figure 1 shows the announcements around the 2011-03-22
+anomaly: Facebook pads its origination five times; the Korean ISP
+re-announces with only three copies; China Telecom propagates the
+5-hop route; AT&T and NTT abandon the 6-hop Level3 route for it.  The
+experiment replays the event through the propagation engine and
+reports each AS's route before and after, plus the announcement lines
+of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.aspath import padding_of_origin
+from repro.casestudy.facebook import (
+    ANOMALY_PADDING_SEEN,
+    AS_ATT,
+    AS_NTT,
+    FACEBOOK_PADDING,
+    FACEBOOK_PREFIXES,
+    replay_all_prefixes,
+    replay_facebook_anomaly,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["Fig01Config", "run"]
+
+
+@dataclass(frozen=True)
+class Fig01Config:
+    prefix: str = "69.171.224.0/20"
+
+
+def run(config: Fig01Config = Fig01Config()) -> ExperimentResult:
+    """Regenerate Figure 1: per-AS routes before/after the anomaly."""
+    replay = replay_facebook_anomaly(config.prefix)
+    rows = [tuple(row) for row in replay.route_change_rows()]
+
+    att_before = replay.baseline.path_of(AS_ATT)
+    att_after = replay.anomalous.path_of(AS_ATT)
+    ntt_after = replay.anomalous.path_of(AS_NTT)
+    fates = replay_all_prefixes()
+    summary = {
+        "att_path_len_before": float(len(att_before or ())) + 1,  # incl. own ASN
+        "att_path_len_after": float(len(att_after or ())) + 1,
+        "padding_before": float(FACEBOOK_PADDING),
+        "padding_seen_after": float(padding_of_origin(att_after)) if att_after else 0.0,
+        "ntt_follows_anomaly": float(
+            ntt_after is not None and padding_of_origin(ntt_after) == ANOMALY_PADDING_SEEN
+        ),
+        "prefixes_announced": float(len(FACEBOOK_PREFIXES)),
+        "prefixes_affected": float(sum(1 for fate in fates if fate.affected)),
+    }
+    notes = ["announcements (paper Figure 1):"]
+    notes.extend("  " + line for line in replay.figure1_announcements())
+    notes.append(
+        "paper: the 7-hop route 7018 3356 32934x5 is replaced by the 6-hop "
+        "7018 4134 9318 32934x3 at 7:15 GMT on Mar 22nd 2011"
+    )
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Facebook routing anomaly instance (route changes at 7:15am)",
+        params={"prefix": config.prefix},
+        headers=("AS", "route_before", "route_after"),
+        rows=rows,
+        summary=summary,
+        notes=notes,
+    )

@@ -1,0 +1,111 @@
+"""Figure 5 — fraction of routes with prepending ASes.
+
+The paper plots, per monitor, the fraction of prefixes whose best route
+contains ASPP, as a CDF over monitors, in three series: all monitors
+(routing tables), Tier-1 monitors only (tables), and all monitors
+(update messages).  Expected shape: average around 13%, the Tier-1
+curve shifted right (big ISPs see more diverse, longer routes), and
+the updates curve shifted right of the tables curve (churn exposes
+padded backup routes).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.bgp.aspath import has_prepending
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.measurement_world import build_measurement_world
+from repro.measurement.characterize import prepended_fraction_per_monitor
+from repro.utils.cdf import EmpiricalCDF
+
+__all__ = ["Fig05Config", "run"]
+
+_QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig05Config:
+    seed: int = 7
+    scale: float = 1.0
+    num_monitors: int = 60
+    num_prefixes: int = 400
+    churn_origins: int = 40
+    churn_events: int = 2
+
+
+def _update_fractions(updates) -> dict[int, float]:
+    """Per-monitor fraction of update messages carrying prepending."""
+    prepended: dict[int, int] = defaultdict(int)
+    total: dict[int, int] = defaultdict(int)
+    for message in updates:
+        if message.withdrawn or not message.path:
+            continue
+        total[message.monitor] += 1
+        if has_prepending(message.path):
+            prepended[message.monitor] += 1
+    return {
+        monitor: prepended[monitor] / count
+        for monitor, count in total.items()
+        if count > 0
+    }
+
+
+def run(config: Fig05Config = Fig05Config()) -> ExperimentResult:
+    """Regenerate Figure 5's three CDF series."""
+    data = build_measurement_world(
+        seed=config.seed,
+        scale=config.scale,
+        num_monitors=config.num_monitors,
+        num_prefixes=config.num_prefixes,
+        churn_origins=config.churn_origins,
+        churn_events=config.churn_events,
+    )
+    all_fracs = prepended_fraction_per_monitor(data.ribs)
+    series: dict[str, EmpiricalCDF] = {"all (table)": EmpiricalCDF(all_fracs.values())}
+
+    if data.tier1_monitors:
+        tier1_fracs = prepended_fraction_per_monitor(
+            data.ribs, monitors=data.tier1_monitors
+        )
+        series["tier 1 (table)"] = EmpiricalCDF(tier1_fracs.values())
+    update_fracs = _update_fractions(data.updates)
+    if update_fracs:
+        series["all (updates)"] = EmpiricalCDF(update_fracs.values())
+    if not series:
+        raise ExperimentError("Figure 5 produced no series")
+
+    rows = []
+    for name, cdf in series.items():
+        for q in _QUANTILES:
+            rows.append((name, f"p{int(q * 100)}", round(cdf.quantile(q), 4)))
+    summary = {
+        "mean_fraction_all_table": series["all (table)"].mean,
+    }
+    if "tier 1 (table)" in series:
+        summary["mean_fraction_tier1_table"] = series["tier 1 (table)"].mean
+    if "all (updates)" in series:
+        summary["mean_fraction_all_updates"] = series["all (updates)"].mean
+    return ExperimentResult(
+        experiment_id="fig05",
+        title="Fraction of routes with prepending ASes (CDF over monitors)",
+        params={
+            "monitors": config.num_monitors,
+            "prefixes": config.num_prefixes,
+            "seed": config.seed,
+            "scale": config.scale,
+        },
+        headers=("series", "quantile", "fraction_prepended"),
+        rows=rows,
+        summary=summary,
+        notes=[
+            "paper: ~13% of table routes prepended on average; Tier-1 and "
+            "updates curves sit to the right of the all-monitors table curve",
+            "known deviation: on this substrate the Tier-1 series tracks "
+            "the all-monitors series instead of sitting right of it (all "
+            "monitors see every prefix here, so the paper's table-size "
+            "diversity effect is absent)",
+        ],
+    )

@@ -1,0 +1,107 @@
+"""Figure 14 — fraction of ASes polluted before detection.
+
+With 150 top-degree monitors and 200 random attacker/victim pairs, the
+paper plots the CDF of the fraction of ASes already polluted when the
+first monitor can raise the alarm: 80% of experiments are caught with
+at most ~37% of ASes polluted.  The logical clock is the engine's
+adoption round (the number of AS-hops the malicious news travelled);
+the detection round is the earliest adoption round over the alarming
+monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.collectors import RouteCollector
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.monitors import top_degree_monitors
+from repro.detection.timing import detection_timing
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentResult, build_world, sample_attack_pairs
+from repro.utils.cdf import EmpiricalCDF
+from repro.utils.rand import derive_rng, make_rng
+
+__all__ = ["Fig14Config", "run"]
+
+_GRID = (0.0, 0.05, 0.1, 0.2, 0.3, 0.37, 0.5, 0.7, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig14Config:
+    seed: int = 7
+    scale: float = 1.0
+    pairs: int = 200
+    origin_padding: int = 3
+    monitors: int = 150
+
+
+def run(config: Fig14Config = Fig14Config()) -> ExperimentResult:
+    """Regenerate Figure 14's CDF of pollution-before-detection."""
+    world = build_world(seed=config.seed, scale=config.scale)
+    graph = world.graph
+    rng = derive_rng(make_rng(config.seed), "fig14-pairs")
+    pairs = sample_attack_pairs(world, config.pairs, rng)
+    detector = ASPPInterceptionDetector(graph)
+    collector = RouteCollector(
+        graph, top_degree_monitors(graph, min(config.monitors, len(graph)))
+    )
+
+    fractions: list[float] = []
+    stealthy_fractions: list[float] = []
+    detected_count = 0
+    for attacker, victim in pairs:
+        result = simulate_interception(
+            world.engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=config.origin_padding,
+        )
+        if not result.report.after:
+            continue  # no AS was polluted: nothing to time
+        timing = detection_timing(result, collector, detector)
+        detected_count += timing.detected
+        # An undetected attack counts as fully polluted before detection
+        # (fraction 1.0), matching DetectionTiming's convention.
+        fractions.append(timing.fraction_polluted_before_detection)
+        stealthy = detection_timing(
+            result, collector, detector, attacker_feeds_collector=False
+        )
+        stealthy_fractions.append(stealthy.fraction_polluted_before_detection)
+    if not fractions:
+        raise ExperimentError("no effective attacks in the sampled pairs")
+
+    cdf = EmpiricalCDF(fractions)
+    stealthy_cdf = EmpiricalCDF(stealthy_fractions)
+    rows = [(x, round(cdf(x), 3), round(stealthy_cdf(x), 3)) for x in _GRID]
+    summary = {
+        "effective_attacks": float(len(fractions)),
+        "detected_attacks": float(detected_count),
+        "cdf_at_0.37": cdf(0.37),
+        "median_fraction": cdf.quantile(0.5),
+        "stealthy_cdf_at_0.37": stealthy_cdf(0.37),
+    }
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Fraction of ASes polluted before detection (CDF)",
+        params={
+            "pairs": config.pairs,
+            "monitors": config.monitors,
+            "origin_padding": config.origin_padding,
+            "seed": config.seed,
+            "scale": config.scale,
+        },
+        headers=("fraction_polluted_before_detection", "CDF", "CDF_stealthy_attacker"),
+        rows=rows,
+        summary=summary,
+        notes=[
+            "paper: 80% of experiments detected with at most ~37% of ASes "
+            "polluted (150 top-degree monitors); undetected attacks are "
+            "counted at fraction 1.0",
+            "CDF assumes an attacker that also feeds its collector session "
+            "(round-0 detection when the attacker is a monitor); the "
+            "stealthy series suppresses that feed, so detection waits for "
+            "pollution to reach an honest monitor",
+        ],
+    )

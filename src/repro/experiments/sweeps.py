@@ -1,0 +1,47 @@
+"""Shared λ-sweep machinery for Figures 9-12.
+
+Each of those figures fixes one attacker/victim pair and sweeps the
+number of prepended ASNs, plotting the fraction of polluted ASes for
+one or two attacker policies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.engine import PropagationEngine
+
+__all__ = ["padding_sweep"]
+
+
+def padding_sweep(
+    engine: PropagationEngine,
+    *,
+    victim: int,
+    attacker: int,
+    paddings: Sequence[int],
+    violate_policy: bool = False,
+) -> list[tuple[int, float, float]]:
+    """Run the attack for each λ; return ``(λ, before%, after%)`` rows.
+
+    Fractions are percentages of ASes whose best path traverses the
+    attacker, matching the paper's y-axis.
+    """
+    rows: list[tuple[int, float, float]] = []
+    for padding in paddings:
+        result = simulate_interception(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=padding,
+            violate_policy=violate_policy,
+        )
+        rows.append(
+            (
+                padding,
+                100 * result.report.before_fraction,
+                100 * result.report.after_fraction,
+            )
+        )
+    return rows

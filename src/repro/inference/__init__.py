@@ -1,0 +1,24 @@
+"""AS-relationship inference from observed AS paths (the paper's §IV-A).
+
+The paper constructs its simulation topology by running Gao's
+inference algorithm and a CAIDA-style algorithm over three months of
+routing tables, keeping the relationship pairs both agree on, and
+re-running Gao's algorithm seeded with that agreed set.  This package
+implements all three steps:
+
+* :mod:`repro.inference.gao` — Gao's degree-based vote algorithm
+  (customers/providers/siblings, then peering);
+* :mod:`repro.inference.caida` — a CAIDA AS-Rank-style algorithm
+  (clique first, transit degree ordering);
+* :mod:`repro.inference.combine` — the agreement + re-run combination;
+* :mod:`repro.inference.accuracy` — precision/recall scoring against a
+  ground-truth graph (possible here because our topologies are
+  generated with known relationships).
+"""
+
+from repro.inference.accuracy import InferenceAccuracy, score_inference
+from repro.inference.caida import infer_caida
+from repro.inference.combine import infer_combined
+from repro.inference.gao import infer_gao
+
+__all__ = ["infer_gao", "infer_caida", "infer_combined", "InferenceAccuracy", "score_inference"]

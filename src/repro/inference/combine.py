@@ -1,0 +1,64 @@
+"""The paper's §IV-A combination of Gao's and CAIDA's inferences.
+
+    "We first generate graphs using Gao's algorithm ... We did the same
+    calculation using CAIDA's algorithm.  Then we take the set of
+    relationship pairs upon which both graphs agree.  We take the
+    common set as the new initial input to re-run Gao's algorithm to
+    generate our topology graph."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.inference.caida import infer_caida
+from repro.inference.gao import infer_gao
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+
+__all__ = ["infer_combined", "agreed_relationships"]
+
+Path = tuple[int, ...]
+
+
+def agreed_relationships(
+    first: ASGraph, second: ASGraph
+) -> dict[tuple[int, int], Relationship]:
+    """Relationship pairs on which two inferred graphs agree.
+
+    Returns a map keyed ``(a, b)`` with ``a < b`` whose value is *b's
+    role relative to a* — the pinning format
+    :func:`repro.inference.gao.infer_gao` accepts.
+    """
+    agreed: dict[tuple[int, int], Relationship] = {}
+    for a, b, role in first.edges():
+        key = (min(a, b), max(a, b))
+        oriented_role = role if key[0] == a else role.inverse()
+        other_role = second.relationship(key[0], key[1])
+        if other_role is oriented_role and oriented_role is not Relationship.NONE:
+            agreed[key] = oriented_role
+    return agreed
+
+
+def infer_combined(
+    paths: Iterable[Path],
+    *,
+    clique_size_hint: int = 10,
+    sibling_threshold: int = 1,
+    peer_degree_ratio: float = 60.0,
+) -> ASGraph:
+    """Run Gao + CAIDA, agree, and re-run Gao seeded with the agreed set."""
+    path_list = [tuple(p) for p in paths]
+    gao_graph = infer_gao(
+        path_list,
+        sibling_threshold=sibling_threshold,
+        peer_degree_ratio=peer_degree_ratio,
+    )
+    caida_graph = infer_caida(path_list, clique_size_hint=clique_size_hint)
+    agreed = agreed_relationships(gao_graph, caida_graph)
+    return infer_gao(
+        path_list,
+        sibling_threshold=sibling_threshold,
+        peer_degree_ratio=peer_degree_ratio,
+        known_relationships=agreed,
+    )

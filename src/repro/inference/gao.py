@@ -1,0 +1,139 @@
+"""Gao's AS-relationship inference algorithm (Gao 2000, simplified).
+
+The classic degree-based heuristic: in a valley-free path the
+highest-degree AS sits at the "top of the hill"; every hop on the
+origin side of the top ascends customer→provider and every hop on the
+monitor side descends provider→customer.  Votes accumulated over many
+paths classify each edge; edges with substantial votes in *both*
+directions are siblings; near the top of paths, edges between ASes of
+comparable degree are re-labelled peering.
+
+Following the paper's methodology ("generate graphs using Gao's
+algorithm with only Tier-1 peering links as the initial input"), a
+``known_peers`` seed can pin selected edges as peering up front; the
+combination step of :mod:`repro.inference.combine` uses the same hook
+to re-run Gao's algorithm seeded with the agreed relationship set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Mapping
+
+from repro.bgp.aspath import collapse_prepending
+from repro.exceptions import MeasurementError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+
+__all__ = ["infer_gao"]
+
+Path = tuple[int, ...]
+
+
+def _collect_edges_and_degrees(paths: Iterable[Path]) -> tuple[set[tuple[int, int]], Counter]:
+    edges: set[tuple[int, int]] = set()
+    neighbors: defaultdict[int, set[int]] = defaultdict(set)
+    for path in paths:
+        core = collapse_prepending(tuple(path))
+        for a, b in zip(core, core[1:]):
+            if a == b:
+                continue
+            edges.add((min(a, b), max(a, b)))
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+    degrees = Counter({asn: len(adjacent) for asn, adjacent in neighbors.items()})
+    return edges, degrees
+
+
+def infer_gao(
+    paths: Iterable[Path],
+    *,
+    sibling_threshold: int = 1,
+    peer_degree_ratio: float = 60.0,
+    known_peers: Iterable[tuple[int, int]] = (),
+    known_relationships: Mapping[tuple[int, int], Relationship] | None = None,
+) -> ASGraph:
+    """Infer an annotated topology from observed AS paths.
+
+    ``paths`` are AS-PATHs in BGP order (monitor side first, origin
+    last); prepending is collapsed before processing.  ``known_peers``
+    pins edges as peering; ``known_relationships`` pins arbitrary edges
+    (keyed ``(a, b)`` meaning *b's role relative to a*) — this is the
+    seeding hook the combination step uses.
+
+    Returns an :class:`ASGraph` over every AS seen in ``paths``.
+    """
+    path_list = [collapse_prepending(tuple(p)) for p in paths]
+    path_list = [p for p in path_list if len(p) >= 1]
+    if not path_list:
+        raise MeasurementError("cannot infer relationships from zero paths")
+
+    edges, degrees = _collect_edges_and_degrees(path_list)
+    pinned: dict[tuple[int, int], Relationship] = {}
+    for a, b in known_peers:
+        pinned[(min(a, b), max(a, b))] = Relationship.PEER
+    if known_relationships:
+        for (a, b), role in known_relationships.items():
+            key = (min(a, b), max(a, b))
+            if key[0] == a:
+                pinned[key] = role
+            else:
+                pinned[key] = role.inverse()
+
+    # ---- Phase 1: transit votes around each path's top provider ------
+    # votes_c2p[(u, v)] counts evidence that v provides transit to u.
+    votes_c2p: Counter = Counter()
+    top_edges: set[tuple[int, int]] = set()
+    for path in path_list:
+        if len(path) < 2:
+            continue
+        # Traffic flows path[0] -> path[-1]; the top provider is the
+        # highest-degree AS, ties to the earlier position.
+        top_index = max(range(len(path)), key=lambda i: (degrees[path[i]], -i))
+        for i in range(len(path) - 1):
+            a, b = path[i], path[i + 1]
+            if i < top_index:
+                votes_c2p[(a, b)] += 1  # ascending: b provides transit to a
+            else:
+                votes_c2p[(b, a)] += 1  # descending: a provides transit to b
+        # Edges incident to the top provider are the peering candidates.
+        if top_index > 0:
+            a, b = path[top_index - 1], path[top_index]
+            top_edges.add((min(a, b), max(a, b)))
+        if top_index < len(path) - 1:
+            a, b = path[top_index], path[top_index + 1]
+            top_edges.add((min(a, b), max(a, b)))
+
+    # ---- Phase 2 + 3: classify every observed edge --------------------
+    graph = ASGraph()
+    for asn in degrees:
+        graph.add_as(asn)
+    for a, b in sorted(edges):
+        pinned_role = pinned.get((a, b))
+        if pinned_role is not None:
+            graph.add_edge(a, b, pinned_role)
+            continue
+        a_below_b = votes_c2p[(a, b)]  # evidence b provides transit to a
+        b_below_a = votes_c2p[(b, a)]
+        degree_a, degree_b = degrees[a], degrees[b]
+        ratio = max(degree_a, degree_b) / max(1, min(degree_a, degree_b))
+        is_top_edge = (a, b) in top_edges
+        if (
+            is_top_edge
+            and ratio <= peer_degree_ratio
+            and min(a_below_b, b_below_a) <= sibling_threshold
+            and abs(a_below_b - b_below_a) <= max(
+                sibling_threshold, 0.1 * (a_below_b + b_below_a)
+            )
+        ):
+            # Comparable degrees at the top of paths with no dominant
+            # transit direction: peering.
+            graph.add_p2p(a, b)
+        elif min(a_below_b, b_below_a) > sibling_threshold:
+            # Transit observed in both directions: one organisation.
+            graph.add_s2s(a, b)
+        elif a_below_b >= b_below_a:
+            graph.add_p2c(b, a)  # b is the provider
+        else:
+            graph.add_p2c(a, b)
+    return graph

@@ -1,0 +1,27 @@
+"""Measurement and characterisation of ASPP usage (the paper's §VI-A).
+
+* :mod:`repro.measurement.padding_model` — the empirical prepending
+  behaviour model (who pads, towards whom, how many times), calibrated
+  to the distribution the paper reports;
+* :mod:`repro.measurement.ribs` — builds per-monitor routing tables for
+  many prefixes by running the propagation engine (our substitute for
+  downloading RouteViews/RIPE table snapshots);
+* :mod:`repro.measurement.characterize` — the Figure 5/6 statistics:
+  per-monitor fraction of prepended best routes, padding-count
+  distribution.
+"""
+
+from repro.measurement.characterize import (
+    padding_count_distribution,
+    prepended_fraction_per_monitor,
+)
+from repro.measurement.padding_model import PaddingBehaviorModel
+from repro.measurement.ribs import MonitorRIBs, build_monitor_ribs
+
+__all__ = [
+    "PaddingBehaviorModel",
+    "MonitorRIBs",
+    "build_monitor_ribs",
+    "prepended_fraction_per_monitor",
+    "padding_count_distribution",
+]

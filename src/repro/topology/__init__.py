@@ -1,0 +1,28 @@
+"""AS-level topology substrate.
+
+This package provides the inferred-Internet-topology substrate the paper
+builds its simulations on: the :class:`~repro.topology.asgraph.ASGraph`
+data structure annotated with business relationships, tier
+classification, a hierarchical Internet-like topology generator (our
+substitute for the RouteViews/RIPE-derived graph), and CAIDA-style
+serialization.
+"""
+
+from repro.topology.asgraph import ASGraph
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+from repro.topology.relationships import PrefClass, Relationship
+from repro.topology.serialization import load_caida, save_caida
+from repro.topology.tiers import classify_tiers, customer_cone, tier1_ases
+
+__all__ = [
+    "ASGraph",
+    "Relationship",
+    "PrefClass",
+    "InternetTopologyConfig",
+    "generate_internet_topology",
+    "load_caida",
+    "save_caida",
+    "classify_tiers",
+    "customer_cone",
+    "tier1_ases",
+]

@@ -1,0 +1,328 @@
+"""Synthetic Internet-like AS topology generator.
+
+The paper simulates on an AS graph inferred from RouteViews/RIPE tables.
+Without network access we generate topologies with the same structural
+properties the paper's results depend on:
+
+* a fully peer-meshed **Tier-1 clique** at the top (no providers);
+* **transit tiers** below it, attached by preferential attachment so the
+  customer-degree distribution is heavy-tailed like the real AS graph;
+* widely **multi-homed stubs** at the edge;
+* **content ASes** (the Facebook analogue): stub-like origin ASes with
+  unusually rich peering — the structure behind the paper's Figure 10
+  and Figure 11 scenarios;
+* occasional **sibling pairs** (one organisation, two ASNs) — the
+  mechanism the paper identifies behind the surprisingly wide pollution
+  in Figure 11;
+* IXP-style peering inside and across the lower tiers.
+
+The generator is fully deterministic given a :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import TopologyError
+from repro.topology.asgraph import ASGraph
+
+__all__ = ["InternetTopologyConfig", "GeneratedTopology", "generate_internet_topology"]
+
+
+@dataclass(frozen=True)
+class InternetTopologyConfig:
+    """Knobs for :func:`generate_internet_topology`.
+
+    The defaults produce roughly 1,500 ASes and 4,000 links — large
+    enough for tier structure and rich peering to matter, small enough
+    that a full 200-pair hijack campaign runs in seconds.  Experiments
+    that need a bigger Internet scale the counts up uniformly.
+    """
+
+    num_tier1: int = 10
+    num_tier2: int = 60
+    num_tier3: int = 200
+    #: small regional transit ASes (the paper's "Tier-4 and Tier-5")
+    num_tier4: int = 260
+    num_stubs: int = 1000
+    num_content: int = 15
+
+    #: inclusive (min, max) number of Tier-1 providers per Tier-2 AS
+    tier2_providers: tuple[int, int] = (2, 3)
+    #: inclusive (min, max) number of Tier-2 providers per Tier-3 AS
+    tier3_providers: tuple[int, int] = (1, 3)
+    #: inclusive (min, max) number of Tier-3 providers per Tier-4 AS
+    tier4_providers: tuple[int, int] = (1, 2)
+    #: inclusive (min, max) number of providers per stub (multi-homing)
+    stub_providers: tuple[int, int] = (1, 2)
+    #: inclusive (min, max) number of providers per content AS
+    content_providers: tuple[int, int] = (2, 3)
+
+    #: probability that any two Tier-2 ASes peer
+    tier2_peering_prob: float = 0.12
+    #: inclusive (min, max) number of IXP-style peers per Tier-3 AS
+    tier3_peering_degree: tuple[int, int] = (0, 4)
+    #: inclusive (min, max) number of IXP-style peers per Tier-4 AS
+    tier4_peering_degree: tuple[int, int] = (0, 2)
+    #: inclusive (min, max) number of peers per content AS (rich peering)
+    content_peering_degree: tuple[int, int] = (15, 60)
+    #: fraction of stubs that additionally peer with one other stub
+    stub_peering_prob: float = 0.02
+
+    #: number of sibling pairs to create among Tier-2/Tier-3 ASes
+    sibling_pairs: int = 8
+
+    #: first AS number to allocate
+    asn_start: int = 1
+
+    def validate(self) -> None:
+        if self.num_tier1 < 2:
+            raise TopologyError("a Tier-1 clique needs at least 2 ASes")
+        for name in ("num_tier2", "num_tier3", "num_tier4", "num_stubs", "num_content"):
+            if getattr(self, name) < 0:
+                raise TopologyError(f"{name} must be non-negative")
+        for name in (
+            "tier2_providers",
+            "tier3_providers",
+            "tier4_providers",
+            "stub_providers",
+            "content_providers",
+            "tier3_peering_degree",
+            "tier4_peering_degree",
+            "content_peering_degree",
+        ):
+            lo, hi = getattr(self, name)
+            if lo < 0 or hi < lo:
+                raise TopologyError(f"{name} must be a (min, max) range, got {(lo, hi)}")
+        if not 0.0 <= self.tier2_peering_prob <= 1.0:
+            raise TopologyError("tier2_peering_prob must be a probability")
+        if not 0.0 <= self.stub_peering_prob <= 1.0:
+            raise TopologyError("stub_peering_prob must be a probability")
+        if self.sibling_pairs < 0:
+            raise TopologyError("sibling_pairs must be non-negative")
+
+    def scaled(self, factor: float) -> "InternetTopologyConfig":
+        """Return a copy with all population counts scaled by ``factor``."""
+        if factor <= 0:
+            raise TopologyError("scale factor must be positive")
+        return InternetTopologyConfig(
+            # The Tier-1 clique stays near its natural size: the paper's
+            # tier-conditioned experiments need a handful of Tier-1
+            # attacker/victim pairs even at small scales.
+            num_tier1=max(min(5, self.num_tier1), round(self.num_tier1 * min(factor, 2.0))),
+            num_tier2=max(1, round(self.num_tier2 * factor)),
+            num_tier3=max(1, round(self.num_tier3 * factor)),
+            num_tier4=max(1, round(self.num_tier4 * factor)),
+            num_stubs=max(1, round(self.num_stubs * factor)),
+            num_content=max(1, round(self.num_content * factor)),
+            tier2_providers=self.tier2_providers,
+            tier3_providers=self.tier3_providers,
+            tier4_providers=self.tier4_providers,
+            stub_providers=self.stub_providers,
+            content_providers=self.content_providers,
+            tier2_peering_prob=self.tier2_peering_prob,
+            tier3_peering_degree=self.tier3_peering_degree,
+            tier4_peering_degree=self.tier4_peering_degree,
+            content_peering_degree=self.content_peering_degree,
+            stub_peering_prob=self.stub_peering_prob,
+            sibling_pairs=self.sibling_pairs,
+            asn_start=self.asn_start,
+        )
+
+
+@dataclass
+class GeneratedTopology:
+    """A generated topology together with its ground-truth structure.
+
+    Experiments use the ground-truth role lists to sample attackers and
+    victims from specific tiers; the inference package uses the graph's
+    relationship labels as the gold standard for accuracy scoring.
+    """
+
+    graph: ASGraph
+    tier1: list[int] = field(default_factory=list)
+    tier2: list[int] = field(default_factory=list)
+    tier3: list[int] = field(default_factory=list)
+    tier4: list[int] = field(default_factory=list)
+    stubs: list[int] = field(default_factory=list)
+    content: list[int] = field(default_factory=list)
+    sibling_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def all_ases(self) -> list[int]:
+        return self.graph.ases
+
+    @property
+    def transit_ases(self) -> list[int]:
+        """ASes that provide transit (have at least one customer).
+
+        The paper's random attacker/victim experiments draw mostly
+        "Tier-4 and Tier-5" ASes — small networks that still provide
+        transit; a valley-free attacker without customers has nowhere
+        to export a modified route, so experiment samplers use this
+        pool for attackers.
+        """
+        return [asn for asn in self.graph.ases if self.graph.customers_of(asn)]
+
+
+def _pick_count(rng: random.Random, bounds: tuple[int, int]) -> int:
+    lo, hi = bounds
+    return rng.randint(lo, hi)
+
+
+def _preferential_sample(
+    rng: random.Random, pool: list[int], weights: dict[int, int], k: int
+) -> list[int]:
+    """Sample ``k`` distinct ASes from ``pool`` weighted by ``weights``.
+
+    Preferential attachment: the weight of an AS is 1 + its current
+    customer count, reproducing the heavy-tailed provider-degree
+    distribution of the real AS graph.
+    """
+    if k >= len(pool):
+        return list(pool)
+    chosen: list[int] = []
+    remaining = list(pool)
+    for _ in range(k):
+        total = sum(1 + weights.get(asn, 0) for asn in remaining)
+        point = rng.uniform(0.0, total)
+        cumulative = 0.0
+        picked_index = len(remaining) - 1
+        for index, asn in enumerate(remaining):
+            cumulative += 1 + weights.get(asn, 0)
+            if point <= cumulative:
+                picked_index = index
+                break
+        chosen.append(remaining.pop(picked_index))
+    return chosen
+
+
+def generate_internet_topology(
+    config: InternetTopologyConfig, rng: random.Random
+) -> GeneratedTopology:
+    """Generate a hierarchical Internet-like topology.
+
+    Returns a :class:`GeneratedTopology`; the contained graph is always
+    transit-connected (every AS can reach the Tier-1 clique through
+    provider links), which the propagation engine relies on.
+    """
+    config.validate()
+    graph = ASGraph()
+    next_asn = config.asn_start
+
+    def allocate(count: int) -> list[int]:
+        nonlocal next_asn
+        block = list(range(next_asn, next_asn + count))
+        next_asn += count
+        for asn in block:
+            graph.add_as(asn)
+        return block
+
+    tier1 = allocate(config.num_tier1)
+    tier2 = allocate(config.num_tier2)
+    tier3 = allocate(config.num_tier3)
+    tier4 = allocate(config.num_tier4)
+    content = allocate(config.num_content)
+    stubs = allocate(config.num_stubs)
+
+    customer_counts: dict[int, int] = {}
+
+    def attach(provider: int, customer: int) -> None:
+        graph.add_p2c(provider, customer)
+        customer_counts[provider] = customer_counts.get(provider, 0) + 1
+
+    # Tier-1: full peering mesh, no providers.
+    for index, a in enumerate(tier1):
+        for b in tier1[index + 1 :]:
+            graph.add_p2p(a, b)
+
+    # Tier-2: multi-homed onto the Tier-1 clique.
+    for asn in tier2:
+        for provider in _preferential_sample(
+            rng, tier1, customer_counts, _pick_count(rng, config.tier2_providers)
+        ):
+            attach(provider, asn)
+
+    # Tier-2 peering mesh (sparse).
+    for index, a in enumerate(tier2):
+        for b in tier2[index + 1 :]:
+            if rng.random() < config.tier2_peering_prob:
+                graph.add_p2p(a, b)
+
+    # Tier-3: providers from Tier-2 by preferential attachment.
+    for asn in tier3:
+        for provider in _preferential_sample(
+            rng, tier2, customer_counts, _pick_count(rng, config.tier3_providers)
+        ):
+            attach(provider, asn)
+
+    # Tier-3 IXP-style peering.
+    for asn in tier3:
+        want = _pick_count(rng, config.tier3_peering_degree)
+        candidates = [c for c in tier3 if c != asn and not graph.has_edge(asn, c)]
+        rng.shuffle(candidates)
+        for peer in candidates[:want]:
+            graph.add_p2p(asn, peer)
+
+    # Tier-4: small regional transit, attached to Tier-3.
+    for asn in tier4:
+        for provider in _preferential_sample(
+            rng, tier3, customer_counts, _pick_count(rng, config.tier4_providers)
+        ):
+            attach(provider, asn)
+    for asn in tier4:
+        want = _pick_count(rng, config.tier4_peering_degree)
+        candidates = [c for c in tier4 if c != asn and not graph.has_edge(asn, c)]
+        rng.shuffle(candidates)
+        for peer in candidates[:want]:
+            graph.add_p2p(asn, peer)
+
+    # Content ASes: few providers, very rich peering (Facebook analogue).
+    peering_pool = tier2 + tier3
+    for asn in content:
+        for provider in _preferential_sample(
+            rng, tier1 + tier2, customer_counts, _pick_count(rng, config.content_providers)
+        ):
+            attach(provider, asn)
+        want = min(_pick_count(rng, config.content_peering_degree), len(peering_pool))
+        candidates = [c for c in peering_pool if not graph.has_edge(asn, c)]
+        rng.shuffle(candidates)
+        for peer in candidates[:want]:
+            graph.add_p2p(asn, peer)
+
+    # Stubs: one or two providers from the transit tiers.
+    transit_pool = tier2 + tier3 + tier4
+    for asn in stubs:
+        for provider in _preferential_sample(
+            rng, transit_pool, customer_counts, _pick_count(rng, config.stub_providers)
+        ):
+            attach(provider, asn)
+        if rng.random() < config.stub_peering_prob:
+            other = rng.choice(stubs)
+            if other != asn and not graph.has_edge(asn, other):
+                graph.add_p2p(asn, other)
+
+    # Sibling pairs among the transit tiers.
+    sibling_pairs: list[tuple[int, int]] = []
+    pool = tier2 + tier3 + tier4 + content
+    attempts = 0
+    while len(sibling_pairs) < config.sibling_pairs and attempts < 50 * max(
+        1, config.sibling_pairs
+    ):
+        attempts += 1
+        a, b = rng.sample(pool, 2)
+        if not graph.has_edge(a, b):
+            graph.add_s2s(a, b)
+            sibling_pairs.append((min(a, b), max(a, b)))
+
+    return GeneratedTopology(
+        graph=graph,
+        tier1=tier1,
+        tier2=tier2,
+        tier3=tier3,
+        tier4=tier4,
+        stubs=stubs,
+        content=content,
+        sibling_pairs=sibling_pairs,
+    )

@@ -1,0 +1,106 @@
+"""Reading and writing relationship-annotated topologies.
+
+The on-disk format follows CAIDA's *serial-1* AS-relationship files,
+which the paper's methodology section consumes::
+
+    # comment lines start with '#'
+    <provider-as>|<customer-as>|-1
+    <peer-as>|<peer-as>|0
+
+We additionally write sibling edges as ``<as>|<as>|2`` (a documented
+extension; CAIDA's serial-2 format reserves other codes).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+
+__all__ = ["load_caida", "save_caida", "loads_caida", "dumps_caida", "to_networkx"]
+
+_REL_CODES = {
+    Relationship.CUSTOMER: -1,  # written provider-first by ASGraph.edges()
+    Relationship.PEER: 0,
+    Relationship.SIBLING: 2,
+}
+
+
+def dumps_caida(graph: ASGraph, *, header: str | None = None) -> str:
+    """Serialise ``graph`` to the CAIDA serial-1 text format."""
+    out = io.StringIO()
+    if header:
+        for line in header.splitlines():
+            out.write(f"# {line}\n")
+    for a, b, role in graph.edges():
+        out.write(f"{a}|{b}|{_REL_CODES[role]}\n")
+    return out.getvalue()
+
+
+def save_caida(graph: ASGraph, path: str | Path, *, header: str | None = None) -> None:
+    """Write ``graph`` to ``path`` in CAIDA serial-1 format."""
+    Path(path).write_text(dumps_caida(graph, header=header))
+
+
+def loads_caida(text: str) -> ASGraph:
+    """Parse a CAIDA serial-1 document into an :class:`ASGraph`."""
+    graph = ASGraph()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) < 3:
+            raise SerializationError(
+                f"line {line_number}: expected 'a|b|code', got {raw!r}"
+            )
+        try:
+            a, b, code = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise SerializationError(f"line {line_number}: non-integer field in {raw!r}") from exc
+        try:
+            if code == -1:
+                graph.add_p2c(a, b)
+            elif code == 0:
+                graph.add_p2p(a, b)
+            elif code == 2:
+                graph.add_s2s(a, b)
+            else:
+                raise SerializationError(
+                    f"line {line_number}: unknown relationship code {code}"
+                )
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(f"line {line_number}: {exc}") from exc
+    return graph
+
+
+def load_caida(path: str | Path) -> ASGraph:
+    """Read a CAIDA serial-1 file into an :class:`ASGraph`."""
+    return loads_caida(Path(path).read_text())
+
+
+def to_networkx(graph: ASGraph):
+    """Export to a ``networkx.Graph`` for ad-hoc analysis/plotting.
+
+    Each edge carries a ``relationship`` attribute with the value of
+    the role of the *second* endpoint relative to the first, matching
+    :meth:`ASGraph.edges` ("customer" on transit edges means the edge
+    is stored provider-first).  networkx is an optional dependency of
+    this helper only; the library itself never imports it.
+    """
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env without networkx
+        raise SerializationError(
+            "to_networkx requires the optional networkx package"
+        ) from exc
+    exported = networkx.Graph()
+    exported.add_nodes_from(graph.ases)
+    for a, b, role in graph.edges():
+        exported.add_edge(a, b, relationship=role.value)
+    return exported

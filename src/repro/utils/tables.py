@@ -1,0 +1,53 @@
+"""Fixed-width text tables for experiment output.
+
+The benchmark harness regenerates each of the paper's tables and figures
+as text; this module renders the rows the same way for every experiment
+so their outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with two decimals; all other cells use ``str``.
+    Returns the table as a single string (no trailing newline).
+    """
+    materialized = [[_stringify(cell) for cell in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

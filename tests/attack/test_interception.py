@@ -1,0 +1,176 @@
+"""Tests for the ASPP interception attack — the paper's core mechanism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.interception import ASPPInterceptionAttack, simulate_interception
+from repro.bgp.aspath import collapse_prepending, padding_of_origin
+from repro.bgp.engine import PropagationEngine
+from repro.exceptions import SimulationError
+from repro.topology.asgraph import ASGraph
+
+
+@pytest.fixture()
+def attack_graph() -> ASGraph:
+    """Victim 100 below A(1); attacker M(6) above A; observers around.
+
+    1 provides transit to 100; 6 and 5 provide transit to 1; 2 above 6,
+    7 above 5.  The attacker 6 strips the padding it receives via A.
+    """
+    graph = ASGraph()
+    graph.add_p2c(1, 100)
+    graph.add_p2c(6, 1)
+    graph.add_p2c(5, 1)
+    graph.add_p2c(2, 6)
+    graph.add_p2c(7, 5)
+    graph.add_p2p(2, 7)
+    return graph
+
+
+class TestAttackConfig:
+    def test_attacker_equals_victim_rejected(self):
+        with pytest.raises(SimulationError):
+            ASPPInterceptionAttack(attacker=1, victim=1)
+
+    def test_bad_strip_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            ASPPInterceptionAttack(attacker=1, victim=2, strip_mode="bogus")
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            ASPPInterceptionAttack(attacker=1, victim=2, keep=0)
+
+    def test_padding_must_be_positive(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        with pytest.raises(SimulationError):
+            simulate_interception(engine, victim=100, attacker=6, origin_padding=0)
+
+
+class TestModifier:
+    def test_origin_strip(self):
+        modifier = ASPPInterceptionAttack(attacker=6, victim=100).modifier()
+        assert modifier((1, 100, 100, 100)) == (1, 100)
+
+    def test_keep_parameter(self):
+        modifier = ASPPInterceptionAttack(attacker=6, victim=100, keep=2).modifier()
+        assert modifier((1, 100, 100, 100)) == (1, 100, 100)
+
+    def test_strip_all_collapses_intermediaries(self):
+        modifier = ASPPInterceptionAttack(
+            attacker=6, victim=100, strip_mode="all"
+        ).modifier()
+        assert modifier((1, 1, 1, 100, 100)) == (1, 100)
+
+    def test_other_prefixes_untouched(self):
+        modifier = ASPPInterceptionAttack(attacker=6, victim=100).modifier()
+        assert modifier((1, 99, 99)) == (1, 99, 99)
+        assert modifier(()) == ()
+
+
+class TestAttackMechanics:
+    def test_malicious_route_is_shorter_by_padding_minus_one(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=4
+        )
+        # AS2 sits above the attacker: its path shrinks by λ-1 = 3.
+        before = result.baseline.best[2].path
+        after = result.attacked.best[2].path
+        assert len(before) - len(after) == 3
+        assert padding_of_origin(after) == 1
+        assert after[-1] == 100  # the origin is preserved: no MOAS
+
+    def test_no_fabricated_links(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=4
+        )
+        for route in result.attacked.best.values():
+            if route is None or not route.path:
+                continue
+            core = collapse_prepending(route.path)
+            for a, b in zip(core, core[1:]):
+                assert attack_graph.has_edge(a, b), f"fabricated link {a}-{b}"
+
+    def test_attacker_keeps_valid_forwarding_route(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=4
+        )
+        assert result.attacker_has_route
+        attacker_route = result.attacked.best[6]
+        assert attacker_route.path[-1] == 100
+        assert 6 not in attacker_route.path
+
+    def test_victim_never_polluted(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=4
+        )
+        assert result.attacked.best[100].path == ()
+
+    def test_polluted_ases_traverse_attacker(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=4
+        )
+        for asn in result.report.after:
+            assert 6 in result.attacked.best[asn].path
+
+    def test_no_padding_means_no_gain(self, attack_graph):
+        engine = PropagationEngine(attack_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=1
+        )
+        assert result.report.gain == pytest.approx(0.0)
+        assert result.baseline.best == result.attacked.best
+
+
+class TestAttackProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10**6), padding=st.integers(2, 6))
+    def test_pollution_only_grows(self, seed, padding):
+        """The attack never *loses* the attacker traffic: every AS that
+        traversed the attacker before still does under the attack."""
+        import random
+
+        from tests.conftest import SMALL_CONFIG
+        from repro.topology.generators import generate_internet_topology
+
+        rng = random.Random(seed)
+        world = generate_internet_topology(SMALL_CONFIG, rng)
+        engine = PropagationEngine(world.graph)
+        attacker = rng.choice(world.transit_ases)
+        victim = rng.choice([a for a in world.graph.ases if a != attacker])
+        result = simulate_interception(
+            engine, victim=victim, attacker=attacker, origin_padding=padding
+        )
+        assert result.report.before <= result.report.after
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_violating_attacker_at_least_as_effective(self, seed):
+        import random
+
+        from tests.conftest import SMALL_CONFIG
+        from repro.topology.generators import generate_internet_topology
+
+        rng = random.Random(seed)
+        world = generate_internet_topology(SMALL_CONFIG, rng)
+        engine = PropagationEngine(world.graph)
+        attacker = rng.choice(world.transit_ases)
+        victim = rng.choice([a for a in world.graph.ases if a != attacker])
+        honest = simulate_interception(
+            engine, victim=victim, attacker=attacker, origin_padding=4
+        )
+        leaky = simulate_interception(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=4,
+            violate_policy=True,
+        )
+        assert leaky.report.after_fraction >= honest.report.after_fraction - 1e-9

@@ -1,0 +1,97 @@
+"""Intermediary-prepending interception (the paper's §II-B remark:
+"the prepending is not limited to the origin AS. It can be any ASes
+who perform AS path prepending before the attacker")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack.interception import ASPPInterceptionAttack
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.topology.asgraph import ASGraph
+
+
+@pytest.fixture()
+def intermediary_graph() -> ASGraph:
+    """V(100) below I(50) below M(6); observer chain above M.
+
+    The *intermediary* I pads its announcements towards its provider M;
+    the origin does not prepend at all.
+    """
+    graph = ASGraph()
+    graph.add_p2c(50, 100)  # I -> V
+    graph.add_p2c(6, 50)    # M -> I
+    graph.add_p2c(2, 6)     # B -> M
+    graph.add_p2c(3, 2)
+    return graph
+
+
+def test_strip_all_removes_intermediary_padding(intermediary_graph):
+    engine = PropagationEngine(intermediary_graph)
+    prepending = PrependingPolicy()
+    prepending.set_padding(50, 6, 4)  # I pads 4x towards M
+
+    baseline = engine.propagate(100, prepending=prepending)
+    assert baseline.best[2].path == (6, 50, 50, 50, 50, 100)
+
+    attack = ASPPInterceptionAttack(attacker=6, victim=100, strip_mode="all")
+    attacked = engine.propagate(
+        100,
+        prepending=prepending,
+        modifiers={6: attack.modifier()},
+        warm_start=baseline,
+    )
+    # The attacker collapses the intermediary's run: 3 hops shorter.
+    assert attacked.best[2].path == (6, 50, 100)
+    assert attacked.best[3].path == (2, 6, 50, 100)
+
+
+def test_origin_mode_leaves_intermediary_padding(intermediary_graph):
+    engine = PropagationEngine(intermediary_graph)
+    prepending = PrependingPolicy()
+    prepending.set_padding(50, 6, 4)
+    baseline = engine.propagate(100, prepending=prepending)
+    attack = ASPPInterceptionAttack(attacker=6, victim=100, strip_mode="origin")
+    attacked = engine.propagate(
+        100,
+        prepending=prepending,
+        modifiers={6: attack.modifier()},
+        warm_start=baseline,
+    )
+    # Origin mode only touches the origin's trailing run (length 1 here).
+    assert attacked.best[2].path == baseline.best[2].path
+
+
+def test_detector_blind_to_intermediary_stripping(intermediary_graph):
+    """Known limitation, faithful to the paper: the Figure-4 algorithm
+    keys on the *origin's* padding count, so stripping an
+    intermediary's padding leaves λ unchanged and raises no alarm."""
+    from repro.bgp.collectors import RouteCollector
+    from repro.detection.detector import ASPPInterceptionDetector
+
+    engine = PropagationEngine(intermediary_graph)
+    prepending = PrependingPolicy()
+    prepending.set_padding(50, 6, 4)
+    baseline = engine.propagate(100, prepending=prepending)
+    attack = ASPPInterceptionAttack(attacker=6, victim=100, strip_mode="all")
+    attacked = engine.propagate(
+        100,
+        prepending=prepending,
+        modifiers={6: attack.modifier()},
+        warm_start=baseline,
+    )
+    collector = RouteCollector(intermediary_graph, [2, 3])
+    detector = ASPPInterceptionDetector(intermediary_graph)
+    before_view = collector.snapshot(baseline)
+    after_view = collector.snapshot(attacked)
+    alarms = []
+    for monitor in collector.monitors:
+        if before_view.routes[monitor] != after_view.routes[monitor]:
+            alarms += detector.inspect_change(
+                monitor,
+                before_view.routes[monitor],
+                after_view.routes[monitor],
+                after_view,
+            )
+    assert alarms == []  # the documented blind spot

@@ -1,0 +1,94 @@
+"""Tests for route collectors and collector feeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.collectors import CollectorFeed, MonitorView, RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.route import DEFAULT_PREFIX, Route
+from repro.exceptions import DetectionError, UnknownASError
+from repro.topology.relationships import PrefClass
+
+
+class TestRouteCollector:
+    def test_snapshot_captures_best_routes(self, chain_graph):
+        engine = PropagationEngine(chain_graph)
+        outcome = engine.propagate(4)
+        collector = RouteCollector(chain_graph, [1, 3])
+        view = collector.snapshot(outcome)
+        assert view.routes[1].path == (2, 3, 4)
+        assert view.routes[3].path == (4,)
+        assert view.monitors == [1, 3]
+
+    def test_snapshot_applies_monitor_modifiers(self, chain_graph):
+        engine = PropagationEngine(chain_graph)
+        outcome = engine.propagate(4)
+        collector = RouteCollector(chain_graph, [2])
+        view = collector.snapshot(outcome, modifiers={2: lambda path: path[-1:]})
+        assert view.routes[2].path == (4,)
+
+    def test_unknown_monitor_rejected(self, chain_graph):
+        with pytest.raises(UnknownASError):
+            RouteCollector(chain_graph, [99])
+
+    def test_empty_monitor_set_rejected(self, chain_graph):
+        with pytest.raises(DetectionError):
+            RouteCollector(chain_graph, [])
+
+    def test_paths_skip_unreachable_monitors(self, chain_graph):
+        chain_graph.add_as(50)
+        engine = PropagationEngine(chain_graph)
+        outcome = engine.propagate(4)
+        collector = RouteCollector(chain_graph, [1, 50])
+        view = collector.snapshot(outcome)
+        assert 50 not in view.paths()
+        assert view.routes[50] is None
+
+    def test_dump_renders(self, chain_graph):
+        outcome = PropagationEngine(chain_graph).propagate(4)
+        view = RouteCollector(chain_graph, [1]).snapshot(outcome)
+        dump = view.dump()
+        assert DEFAULT_PREFIX in dump
+        assert "monitor AS1" in dump
+
+
+class TestCollectorFeed:
+    @staticmethod
+    def make_view(**routes) -> MonitorView:
+        return MonitorView(
+            prefix=DEFAULT_PREFIX,
+            routes={
+                int(k[2:]): (
+                    Route(DEFAULT_PREFIX, tuple(v), tuple(v)[0], PrefClass.PEER)
+                    if v is not None
+                    else None
+                )
+                for k, v in routes.items()
+            },
+        )
+
+    def test_changes_detected_between_snapshots(self):
+        feed = CollectorFeed(prefix=DEFAULT_PREFIX)
+        feed.append(self.make_view(as1=(2, 3), as2=(3,)))
+        feed.append(self.make_view(as1=(4, 3), as2=(3,)))
+        changes = feed.changes()
+        assert len(changes) == 1
+        monitor, before, after, view = changes[0]
+        assert monitor == 1
+        assert before.path == (2, 3)
+        assert after.path == (4, 3)
+        assert view.routes[2].path == (3,)
+
+    def test_withdrawal_is_a_change(self):
+        feed = CollectorFeed(prefix=DEFAULT_PREFIX)
+        feed.append(self.make_view(as1=(2, 3)))
+        feed.append(self.make_view(as1=None))
+        changes = feed.changes()
+        assert len(changes) == 1
+        assert changes[0][2] is None
+
+    def test_prefix_mismatch_rejected(self):
+        feed = CollectorFeed(prefix="192.0.2.0/24")
+        with pytest.raises(DetectionError):
+            feed.append(self.make_view(as1=(2, 3)))

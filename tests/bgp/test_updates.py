@@ -1,0 +1,100 @@
+"""Tests for the churn/update-stream simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.updates import simulate_update_stream
+from repro.bgp.prepending import PrependingPolicy
+from repro.exceptions import SimulationError
+from repro.topology.asgraph import ASGraph
+
+
+@pytest.fixture()
+def multihomed() -> ASGraph:
+    """Origin 100 dual-homed to 1 and 2; monitor candidates above."""
+    graph = ASGraph()
+    graph.add_p2p(1, 2)
+    graph.add_p2c(1, 100)
+    graph.add_p2c(2, 100)
+    graph.add_p2c(1, 10)
+    graph.add_p2c(2, 20)
+    return graph
+
+
+def test_failures_produce_updates(multihomed):
+    collector = RouteCollector(multihomed, [10, 20])
+    prepending = PrependingPolicy()
+    prepending.set_padding(100, 2, 4)  # backup link heavily padded
+    messages = simulate_update_stream(
+        multihomed,
+        100,
+        collector,
+        prefix="192.0.2.0/24",
+        prepending=prepending,
+        events=4,
+        rng=random.Random(1),
+    )
+    assert messages, "link failures must surface as updates"
+    # Some failover route must expose the padded backup path.
+    assert any(
+        message.path and message.path.count(100) == 4 for message in messages
+    )
+    assert all(message.prefix == "192.0.2.0/24" for message in messages)
+
+
+def test_updates_are_deterministic(multihomed):
+    collector = RouteCollector(multihomed, [10, 20])
+    runs = [
+        simulate_update_stream(
+            multihomed,
+            100,
+            collector,
+            prefix="192.0.2.0/24",
+            events=3,
+            rng=random.Random(9),
+        )
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+def test_no_events_no_updates(multihomed):
+    collector = RouteCollector(multihomed, [10])
+    assert (
+        simulate_update_stream(
+            multihomed, 100, collector, prefix="p", events=0, rng=random.Random(0)
+        )
+        == []
+    )
+
+
+def test_negative_events_rejected(multihomed):
+    collector = RouteCollector(multihomed, [10])
+    with pytest.raises(SimulationError):
+        simulate_update_stream(
+            multihomed, 100, collector, prefix="p", events=-1, rng=random.Random(0)
+        )
+
+
+def test_isolated_origin_rejected():
+    graph = ASGraph()
+    graph.add_as(1)
+    graph.add_p2c(2, 3)
+    collector = RouteCollector(graph, [2])
+    with pytest.raises(SimulationError):
+        simulate_update_stream(
+            graph, 1, collector, prefix="p", events=1, rng=random.Random(0)
+        )
+
+
+def test_original_graph_untouched(multihomed):
+    collector = RouteCollector(multihomed, [10])
+    edges_before = list(multihomed.edges())
+    simulate_update_stream(
+        multihomed, 100, collector, prefix="p", events=3, rng=random.Random(2)
+    )
+    assert list(multihomed.edges()) == edges_before

@@ -1,0 +1,157 @@
+"""End-to-end tests of the §III Facebook anomaly reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import padding_of_origin
+from repro.casestudy.facebook import (
+    ANOMALY_PADDING_SEEN,
+    AS_ATT,
+    AS_ATT_CUSTOMER,
+    AS_CHINA_TELECOM,
+    AS_FACEBOOK,
+    AS_KOREAN_ISP,
+    AS_LEVEL3,
+    AS_NTT,
+    FACEBOOK_PADDING,
+    FACEBOOK_PREFIXES,
+    AFFECTED_PREFIXES,
+    build_facebook_topology,
+    replay_facebook_anomaly,
+)
+
+
+@pytest.fixture(scope="module")
+def replay():
+    return replay_facebook_anomaly()
+
+
+class TestTopology:
+    def test_fragment_structure(self):
+        graph, labels = build_facebook_topology()
+        assert graph.relationship(AS_LEVEL3, AS_FACEBOOK).value == "customer"
+        assert graph.relationship(AS_KOREAN_ISP, AS_FACEBOOK).value == "customer"
+        assert graph.relationship(AS_CHINA_TELECOM, AS_KOREAN_ISP).value == "customer"
+        assert graph.relationship(AS_ATT, AS_LEVEL3).value == "peer"
+        assert labels[AS_FACEBOOK] == "Facebook"
+
+    def test_prefix_lists(self):
+        assert len(FACEBOOK_PREFIXES) == 10
+        assert set(AFFECTED_PREFIXES) <= set(FACEBOOK_PREFIXES)
+        assert len(AFFECTED_PREFIXES) == 2
+
+
+class TestBaselineRoutes:
+    def test_att_normal_route_via_level3(self, replay):
+        """Paper: the stable route is 7018 3356 32934x5 (7 hops at the
+        AT&T customer, 6 at AT&T)."""
+        att_path = replay.baseline.path_of(AS_ATT)
+        assert att_path == (AS_LEVEL3,) + (AS_FACEBOOK,) * FACEBOOK_PADDING
+        customer_path = replay.baseline.path_of(AS_ATT_CUSTOMER)
+        assert customer_path == (AS_ATT,) + att_path
+        assert len(customer_path) + 1 == 8  # 7 ASes + the customer itself
+
+    def test_korean_route_initially_padded(self, replay):
+        assert replay.baseline.path_of(AS_KOREAN_ISP) == (
+            (AS_FACEBOOK,) * FACEBOOK_PADDING
+        )
+
+
+class TestAnomalousRoutes:
+    def test_att_switches_to_china_route(self, replay):
+        """Paper: 7018 4134 9318 32934 32934 32934 at 7:15 GMT."""
+        assert replay.anomalous.path_of(AS_ATT) == (
+            AS_CHINA_TELECOM,
+            AS_KOREAN_ISP,
+        ) + (AS_FACEBOOK,) * ANOMALY_PADDING_SEEN
+
+    def test_ntt_follows(self, replay):
+        """Paper: NTT chose 2914 4134 9318 32934 32934 32934."""
+        assert replay.anomalous.path_of(AS_NTT) == (
+            AS_CHINA_TELECOM,
+            AS_KOREAN_ISP,
+        ) + (AS_FACEBOOK,) * ANOMALY_PADDING_SEEN
+
+    def test_level3_keeps_direct_customer_route(self, replay):
+        assert replay.anomalous.path_of(AS_LEVEL3) == (
+            (AS_FACEBOOK,) * FACEBOOK_PADDING
+        )
+
+    def test_padding_reduced_by_two(self, replay):
+        before = replay.baseline.path_of(AS_ATT)
+        after = replay.anomalous.path_of(AS_ATT)
+        assert padding_of_origin(before) - padding_of_origin(after) == 2
+
+    def test_reachability_preserved(self, replay):
+        """Interception, not blackholing: every AS still reaches the
+        origin AS 32934."""
+        for asn, route in replay.anomalous.best.items():
+            if asn == AS_FACEBOOK:
+                continue
+            assert route is not None
+            assert route.path[-1] == AS_FACEBOOK
+
+
+class TestReporting:
+    def test_route_change_rows(self, replay):
+        rows = replay.route_change_rows()
+        names = [row[0] for row in rows]
+        assert any("AT&T (AS7018)" in name for name in names)
+        att_row = next(row for row in rows if row[0].startswith("AT&T (AS7018)"))
+        assert att_row[1] != att_row[2]
+
+    def test_figure1_announcement_lines(self, replay):
+        lines = replay.figure1_announcements()
+        assert any("two padded ASNs removed" in line for line in lines)
+        assert any(
+            line.count(str(AS_FACEBOOK)) == FACEBOOK_PADDING for line in lines
+        )
+
+    def test_monitoring_cannot_prove_the_cause(self, replay):
+        """§III: 'From most monitoring vantage points in US, it is hard
+        to determine which one is the actual cause' — the attacker is
+        the victim's direct neighbour, so the padding difference between
+        the Level3 and Korean first hops is indistinguishable from
+        per-neighbour traffic engineering."""
+        from repro.bgp.collectors import RouteCollector
+        from repro.detection.detector import ASPPInterceptionDetector
+        from repro.detection.alarms import Confidence
+
+        graph = replay.graph
+        collector = RouteCollector(graph, [AS_ATT, AS_NTT, AS_LEVEL3])
+        detector = ASPPInterceptionDetector(graph)
+        before = collector.snapshot(replay.baseline)
+        after = collector.snapshot(replay.anomalous)
+        high_alarms = []
+        for monitor in collector.monitors:
+            if before.routes[monitor] == after.routes[monitor]:
+                continue
+            alarms = detector.inspect_change(
+                monitor, before.routes[monitor], after.routes[monitor], after
+            )
+            high_alarms += [a for a in alarms if a.confidence is Confidence.HIGH]
+        assert high_alarms == []
+
+
+class TestPerPrefixFates:
+    def test_exactly_two_prefixes_affected(self):
+        """Paper: 'among all ten prefixes announced by Facebook, only
+        two prefixes, 69.171.224.0/20 and 69.171.255.0/24, are
+        affected'."""
+        from repro.casestudy.facebook import replay_all_prefixes
+
+        fates = replay_all_prefixes()
+        assert len(fates) == 10
+        affected = {fate.prefix for fate in fates if fate.affected}
+        assert affected == set(AFFECTED_PREFIXES)
+
+    def test_affected_iff_announced_via_korea(self):
+        from repro.casestudy.facebook import replay_all_prefixes
+
+        for fate in replay_all_prefixes():
+            assert fate.affected == fate.announced_via_korea
+            if fate.affected:
+                assert AS_CHINA_TELECOM in fate.att_path_after
+            else:
+                assert fate.att_path_before == fate.att_path_after

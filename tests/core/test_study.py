@@ -1,0 +1,116 @@
+"""Tests for the InterceptionStudy façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttackCampaign, InterceptionStudy
+from repro.detection.alarms import Confidence
+from repro.exceptions import ExperimentError, SimulationError
+from repro.topology.generators import InternetTopologyConfig
+
+STUDY_CONFIG = InternetTopologyConfig(
+    num_tier1=4,
+    num_tier2=8,
+    num_tier3=20,
+    num_tier4=20,
+    num_stubs=80,
+    num_content=3,
+    sibling_pairs=2,
+)
+
+
+@pytest.fixture(scope="module")
+def study() -> InterceptionStudy:
+    return InterceptionStudy.generate(seed=7, config=STUDY_CONFIG, monitors=40)
+
+
+class TestConstruction:
+    def test_generate_is_deterministic(self):
+        a = InterceptionStudy.generate(seed=7, config=STUDY_CONFIG)
+        b = InterceptionStudy.generate(seed=7, config=STUDY_CONFIG)
+        assert list(a.world.graph.edges()) == list(b.world.graph.edges())
+        assert a.collector.monitors == b.collector.monitors
+
+    def test_placement_strategies(self):
+        top = InterceptionStudy.generate(
+            seed=7, config=STUDY_CONFIG, monitors=20, placement="top-degree"
+        )
+        cover = InterceptionStudy.generate(
+            seed=7, config=STUDY_CONFIG, monitors=20, placement="greedy-cover"
+        )
+        assert top.collector.monitors != cover.collector.monitors
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(SimulationError):
+            InterceptionStudy.generate(
+                seed=7, config=STUDY_CONFIG, placement="astrology"
+            )
+
+    def test_monitor_count_capped_by_world(self):
+        study = InterceptionStudy.generate(
+            seed=7, config=STUDY_CONFIG, monitors=10**6
+        )
+        assert len(study.collector.monitors) == len(study.world.graph)
+
+
+class TestWorkflow:
+    def test_attack_and_detection(self, study):
+        result = study.run_attack(
+            victim=study.world.content[0],
+            attacker=study.world.tier1[0],
+            padding=3,
+        )
+        timing = study.detect(result)
+        assert result.report.after_fraction >= result.report.before_fraction
+        assert isinstance(timing.detected, bool)
+
+    def test_high_confidence_filter(self, study):
+        result = study.run_attack(
+            victim=study.world.content[0],
+            attacker=study.world.tier1[0],
+            padding=3,
+        )
+        low = study.detect(result, min_confidence=Confidence.LOW)
+        high = study.detect(result, min_confidence=Confidence.HIGH)
+        assert len(high.alarms) <= len(low.alarms)
+
+    def test_reactive_defense(self, study):
+        result = study.run_attack(
+            victim=study.world.content[0],
+            attacker=study.world.tier1[0],
+            padding=4,
+        )
+        mitigation = study.defend_reactively(result)
+        assert mitigation.report.gain == pytest.approx(0.0, abs=1e-12)
+
+    def test_cautious_defense(self, study):
+        result = study.run_attack(
+            victim=study.world.content[0],
+            attacker=study.world.tier1[0],
+            padding=4,
+        )
+        report = study.defend_cautiously(result, deployment_fraction=1.0)
+        assert report.gain <= 1e-12
+
+    def test_characterization(self, study):
+        ribs = study.characterize_prepending(num_prefixes=30)
+        assert len(ribs.origins) == 30
+        assert ribs.tables
+
+    def test_campaign_aggregates(self, study):
+        campaign = study.campaign(pairs=10, padding=3)
+        assert len(campaign.results) == 10
+        assert len(campaign.timings) == 10
+        assert 0.0 <= campaign.mean_pollution <= 1.0
+        assert 0.0 <= campaign.detection_rate <= 1.0
+        assert all(r in campaign.results for r in campaign.effective)
+
+    def test_campaign_requires_pairs(self, study):
+        with pytest.raises(ExperimentError):
+            study.campaign(pairs=0, padding=3)
+
+    def test_empty_campaign_statistics(self):
+        campaign = AttackCampaign()
+        assert campaign.mean_pollution == 0.0
+        assert campaign.detection_rate == 0.0

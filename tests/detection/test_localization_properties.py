@@ -1,0 +1,89 @@
+"""Property tests: the detector localises the modifier correctly."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.detection.alarms import Confidence
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.monitors import top_degree_monitors
+from repro.detection.timing import detection_timing
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+TINY = InternetTopologyConfig(
+    num_tier1=3,
+    num_tier2=6,
+    num_tier3=14,
+    num_tier4=10,
+    num_stubs=45,
+    num_content=2,
+    sibling_pairs=0,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_high_alarms_never_blame_below_the_attacker(seed):
+    """Whatever the detector blames, it is never an AS strictly *below*
+    the attacker on the malicious route: padding is intact down there.
+    (The suspect may legitimately sit above the attacker — an honest AS
+    that merely forwarded the already-stripped route and happens to top
+    the longest shared segment from the monitor's view.)"""
+    rng = random.Random(seed)
+    world = generate_internet_topology(TINY, rng)
+    graph = world.graph
+    engine = PropagationEngine(graph)
+    attacker = rng.choice(world.transit_ases)
+    victim = rng.choice([a for a in graph.ases if a != attacker])
+    result = simulate_interception(
+        engine, victim=victim, attacker=attacker, origin_padding=4
+    )
+    if not result.report.newly_polluted:
+        return
+    collector = RouteCollector(graph, top_degree_monitors(graph, len(graph) // 2))
+    detector = ASPPInterceptionDetector(graph)
+    timing = detection_timing(
+        result, collector, detector, attacker_feeds_collector=False
+    )
+    for alarm in timing.alarms:
+        if alarm.confidence is not Confidence.HIGH or alarm.suspect is None:
+            continue
+        # Reconstruct the attacker's stripped route: everything after
+        # the attacker on a malicious path is below the modification.
+        for route in result.attacked.best.values():
+            if route is None or attacker not in route.path:
+                continue
+            below = route.path[route.path.index(attacker) + 1 :]
+            assert alarm.suspect not in below or alarm.suspect == attacker, (
+                f"suspect AS{alarm.suspect} lies below attacker AS{attacker} "
+                f"on {route.path}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_removed_pads_reported_exactly(seed):
+    """Every high-confidence alarm reports exactly λ-1 removed copies:
+    the victim padded λ times and the attacker left one."""
+    rng = random.Random(seed)
+    world = generate_internet_topology(TINY, rng)
+    graph = world.graph
+    engine = PropagationEngine(graph)
+    attacker = rng.choice(world.transit_ases)
+    victim = rng.choice([a for a in graph.ases if a != attacker])
+    padding = rng.randint(2, 6)
+    result = simulate_interception(
+        engine, victim=victim, attacker=attacker, origin_padding=padding
+    )
+    collector = RouteCollector(graph, top_degree_monitors(graph, len(graph) // 2))
+    detector = ASPPInterceptionDetector(graph)
+    timing = detection_timing(result, collector, detector)
+    for alarm in timing.alarms:
+        if alarm.confidence is Confidence.HIGH and alarm.removed_pads is not None:
+            assert alarm.removed_pads == padding - 1

@@ -1,0 +1,118 @@
+"""Tests for the streaming (online) detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.updates import UpdateMessage
+from repro.detection.alarms import Confidence
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.streaming import StreamingDetector, attack_update_stream
+
+
+@pytest.fixture()
+def attacked(figure3_graph):
+    engine = PropagationEngine(figure3_graph)
+    result = simulate_interception(
+        engine, victim=100, attacker=6, origin_padding=3
+    )
+    collector = RouteCollector(figure3_graph, [2, 5])
+    return figure3_graph, result, collector
+
+
+class TestAttackUpdateStream:
+    def test_stream_ordered_by_adoption_round(self, attacked):
+        graph, result, collector = attacked
+        messages = attack_update_stream(result, collector)
+        assert messages, "the attack must produce updates at the monitors"
+        rounds = [
+            result.attacked.adoption_round.get(message.monitor, 0)
+            for message in messages
+        ]
+        assert rounds == sorted(rounds)
+
+    def test_unchanged_monitors_emit_nothing(self, attacked):
+        graph, result, collector = attacked
+        messages = attack_update_stream(result, collector)
+        changed = {message.monitor for message in messages}
+        before = collector.snapshot(result.baseline)
+        after = collector.snapshot(
+            result.attacked,
+            modifiers={result.attack.attacker: result.attack.modifier()},
+        )
+        for monitor in collector.monitors:
+            if monitor not in changed:
+                assert before.routes[monitor] == after.routes[monitor]
+
+    def test_stealthy_attacker_suppresses_own_feed(self, figure3_graph):
+        engine = PropagationEngine(figure3_graph)
+        result = simulate_interception(
+            engine, victim=100, attacker=6, origin_padding=3
+        )
+        collector = RouteCollector(figure3_graph, [6, 5])
+        loud = attack_update_stream(result, collector)
+        quiet = attack_update_stream(
+            result, collector, attacker_feeds_collector=False
+        )
+        assert any(m.monitor == 6 for m in loud)
+        assert all(m.monitor != 6 for m in quiet)
+
+
+class TestStreamingDetector:
+    def test_detects_attack_mid_stream(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        streaming.prime(collector.snapshot(result.baseline))
+        alarms = streaming.consume_all(attack_update_stream(result, collector))
+        assert any(
+            a.confidence is Confidence.HIGH and a.suspect == 6 for a in alarms
+        )
+
+    def test_duplicate_updates_ignored(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        streaming.prime(collector.snapshot(result.baseline))
+        messages = attack_update_stream(result, collector)
+        first = streaming.consume_all(messages)
+        again = streaming.consume_all(messages)  # re-announcements of the same
+        assert first
+        assert again == []
+
+    def test_withdrawal_updates_state_quietly(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        streaming.prime(collector.snapshot(result.baseline))
+        prefix = result.baseline.prefix
+        alarms = streaming.consume(
+            UpdateMessage(monitor=2, prefix=prefix, path=(), withdrawn=True)
+        )
+        assert alarms == []
+        assert streaming.current_view(prefix).routes[2] is None
+
+    def test_state_isolated_per_prefix(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        streaming.prime(collector.snapshot(result.baseline))
+        other = UpdateMessage(monitor=2, prefix="192.0.2.0/24", path=(1, 100))
+        streaming.consume(other)
+        assert streaming.current_view("192.0.2.0/24").routes[2].path == (1, 100)
+        assert (
+            streaming.current_view(result.baseline.prefix).routes[2]
+            == collector.snapshot(result.baseline).routes[2]
+        )
+
+    def test_equivalent_to_batch_detection(self, attacked):
+        """Streaming over the attack's updates finds the attack iff the
+        batch snapshot comparison does."""
+        graph, result, collector = attacked
+        detector = ASPPInterceptionDetector(graph)
+        from repro.detection.timing import detection_timing
+
+        batch = detection_timing(result, collector, detector)
+        streaming = StreamingDetector(detector)
+        streaming.prime(collector.snapshot(result.baseline))
+        alarms = streaming.consume_all(attack_update_stream(result, collector))
+        assert bool(alarms) == batch.detected

@@ -1,0 +1,78 @@
+"""Tests for the ``repro-aspp`` command-line driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import REGISTRY
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(REGISTRY)
+
+
+def test_run_experiment(capsys):
+    assert main(["run", "fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "fig01" in out
+    assert "route_before" in out
+
+
+def test_run_with_overrides(capsys):
+    assert main(["run", "fig07", "--scale", "0.2", "--instances", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "instances=4" in out
+    assert "seed=3" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_world_summary_and_save(capsys, tmp_path):
+    out_path = tmp_path / "topo.caida"
+    assert main(["world", "--scale", "0.15", "--save", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Generated topology" in out
+    assert "tier-1 ASes" in out
+    assert out_path.exists()
+    from repro.topology.serialization import load_caida
+
+    graph = load_caida(out_path)
+    assert len(graph) > 50
+
+
+def test_world_is_deterministic(capsys):
+    main(["world", "--scale", "0.15", "--seed", "3"])
+    first = capsys.readouterr().out
+    main(["world", "--scale", "0.15", "--seed", "3"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_campaign_summary(capsys):
+    assert main(["campaign", "--scale", "0.15", "--pairs", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "effective attacks" in out
+    assert "detection rate" in out
+
+
+def test_all_runs_every_registered_experiment(capsys, monkeypatch):
+    """`repro-aspp all` iterates the registry; patch it down to the two
+    cheap case-study experiments so the test stays fast."""
+    import repro.cli as cli
+
+    small = {k: v for k, v in REGISTRY.items() if k in ("table1", "fig01")}
+    monkeypatch.setattr(cli, "REGISTRY", small)
+    assert main(["all"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig01" in out

@@ -1,0 +1,80 @@
+"""Small-surface tests: the exception hierarchy and result rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DetectionError,
+    ExperimentError,
+    MeasurementError,
+    PolicyError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    TopologyError,
+    UnknownASError,
+)
+from repro.experiments.base import ExperimentResult
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            TopologyError,
+            PolicyError,
+            SimulationError,
+            DetectionError,
+            MeasurementError,
+            SerializationError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_unknown_as_carries_asn(self):
+        error = UnknownASError(65000)
+        assert error.asn == 65000
+        assert "AS65000" in str(error)
+        assert isinstance(error, TopologyError)
+
+    def test_convergence_error_carries_operations(self):
+        error = ConvergenceError(1234)
+        assert error.operations == 1234
+        assert "1234" in str(error)
+
+
+class TestExperimentResultRendering:
+    def test_full_rendering(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="A demo artefact",
+            params={"seed": 7},
+            headers=("x", "y"),
+            rows=[(1, 2.5), (2, 3.5)],
+            summary={"metric": 0.123456},
+            notes=["a note"],
+        )
+        text = result.to_text()
+        assert text.startswith("demo: A demo artefact")
+        assert "seed=7" in text
+        assert "2.50" in text  # float formatting
+        assert "metric = 0.1235" in text
+        assert "note: a note" in text
+
+    def test_minimal_rendering(self):
+        result = ExperimentResult(experiment_id="bare", title="Bare")
+        text = result.to_text()
+        assert text == "bare: Bare"
+
+    def test_rows_without_summary(self):
+        result = ExperimentResult(
+            experiment_id="r",
+            title="Rows only",
+            headers=("a",),
+            rows=[(1,)],
+        )
+        assert "summary" not in result.to_text()

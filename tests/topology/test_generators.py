@@ -1,0 +1,143 @@
+"""Tests and properties for the Internet-like topology generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+from repro.topology.tiers import tier1_ases
+
+TINY = InternetTopologyConfig(
+    num_tier1=3,
+    num_tier2=6,
+    num_tier3=12,
+    num_tier4=10,
+    num_stubs=40,
+    num_content=2,
+    sibling_pairs=2,
+)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        InternetTopologyConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tier1": 1},
+            {"num_stubs": -1},
+            {"tier2_providers": (3, 2)},
+            {"tier2_peering_prob": 1.5},
+            {"sibling_pairs": -2},
+            {"stub_peering_prob": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(TopologyError):
+            InternetTopologyConfig(**kwargs).validate()
+
+    def test_scaled_counts(self):
+        scaled = InternetTopologyConfig().scaled(0.5)
+        assert scaled.num_stubs == round(InternetTopologyConfig().num_stubs * 0.5)
+        assert scaled.num_tier1 >= 2
+        scaled.validate()
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(TopologyError):
+            InternetTopologyConfig().scaled(0)
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        a = generate_internet_topology(TINY, random.Random(5))
+        b = generate_internet_topology(TINY, random.Random(5))
+        assert list(a.graph.edges()) == list(b.graph.edges())
+
+    def test_population_counts(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        assert len(world.tier1) == TINY.num_tier1
+        assert len(world.tier2) == TINY.num_tier2
+        assert len(world.tier4) == TINY.num_tier4
+        assert len(world.stubs) == TINY.num_stubs
+        assert len(world.graph) == (
+            TINY.num_tier1
+            + TINY.num_tier2
+            + TINY.num_tier3
+            + TINY.num_tier4
+            + TINY.num_stubs
+            + TINY.num_content
+        )
+
+    def test_tier1_forms_clique(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        assert tier1_ases(world.graph) == set(world.tier1)
+
+    def test_transit_pool_excludes_pure_stubs(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        transit = set(world.transit_ases)
+        for stub in world.stubs:
+            if stub in transit:
+                # stubs never get customers
+                pytest.fail(f"stub AS{stub} unexpectedly has customers")
+
+    def test_sibling_pairs_recorded(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        for a, b in world.sibling_pairs:
+            assert b in world.graph.siblings_of(a)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_every_as_transit_connected_to_tier1(self, seed):
+        """Every AS reaches the Tier-1 clique by walking providers."""
+        world = generate_internet_topology(TINY, random.Random(seed))
+        graph = world.graph
+        tier1 = set(world.tier1)
+        for asn in graph:
+            cursor = {asn}
+            seen = set(cursor)
+            reached = bool(cursor & tier1)
+            while cursor and not reached:
+                nxt = set()
+                for a in cursor:
+                    nxt |= set(graph.providers_of(a)) - seen
+                seen |= nxt
+                cursor = nxt
+                reached = bool(nxt & tier1)
+            assert reached or asn in tier1, f"AS{asn} cannot reach the core"
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_provider_graph_acyclic(self, seed):
+        """No AS is its own transitive provider (the p2c DAG property)."""
+        world = generate_internet_topology(TINY, random.Random(seed))
+        graph = world.graph
+        state: dict[int, int] = {}
+
+        def visit(asn: int) -> None:
+            state[asn] = 1
+            for provider in graph.providers_of(asn):
+                mark = state.get(provider)
+                assert mark != 1, f"provider cycle through AS{provider}"
+                if mark is None:
+                    visit(provider)
+            state[asn] = 2
+
+        for asn in graph:
+            if asn not in state:
+                visit(asn)
+
+    def test_content_ases_richly_peered(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        mean_content_peers = sum(
+            len(world.graph.peers_of(c)) for c in world.content
+        ) / len(world.content)
+        mean_stub_peers = sum(
+            len(world.graph.peers_of(s)) for s in world.stubs
+        ) / len(world.stubs)
+        assert mean_content_peers > mean_stub_peers + 3

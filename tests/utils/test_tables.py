@@ -1,0 +1,41 @@
+"""Tests for fixed-width table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_alignment_and_headers():
+    text = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "long-name" in lines[3]
+    # Columns align: 'value' header starts at the same offset as cell values.
+    offset = lines[0].index("value")
+    assert lines[2][offset] == "1"
+
+
+def test_floats_formatted_two_decimals():
+    text = format_table(("x",), [(1.23456,)])
+    assert "1.23" in text
+    assert "1.2345" not in text
+
+
+def test_title_rendering():
+    text = format_table(("a",), [(1,)], title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1] == "=" * len("My Table")
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [(1,)])
+
+
+def test_empty_rows_renders_header_only():
+    text = format_table(("a", "b"), [])
+    assert len(text.splitlines()) == 2
