@@ -1,3 +1,12 @@
+# Vendored, verbatim, from the repository's seed commit (4083fa4):
+# src/repro/bgp/engine.py as it stood before the incremental decision
+# fast path, the compiled-adjacency precomputation and the sweep
+# runner existed.  benchmarks/test_bench_runner.py times this engine's
+# serial sweep loop as the "before" baseline so the runner's speedup
+# is measured against a fixed reference, not a moving one.
+#
+# Do not edit or "fix" this module; regenerate it with
+#   git show 4083fa4:src/repro/bgp/engine.py
 """Policy-aware BGP route-propagation engine.
 
 This is the simulator at the heart of the paper (§IV-B): it emulates
@@ -40,7 +49,6 @@ propagation time.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
@@ -89,11 +97,6 @@ class PropagationOutcome:
     adj_rib_in: dict[int, dict[int, tuple[tuple[int, ...], PrefClass] | None]]
     adoption_round: dict[int, int] = field(default_factory=dict)
     rounds: int = 0
-    #: preference key per AS, carried so warm starts skip recomputing
-    #: them; purely derived data, excluded from equality.
-    best_keys: dict[int, tuple[int, int, int] | None] | None = field(
-        default=None, repr=False, compare=False
-    )
 
     def path_of(self, asn: int) -> tuple[int, ...] | None:
         """The AS-PATH ``asn`` uses towards the prefix (``None`` if unreachable)."""
@@ -121,7 +124,6 @@ class PropagationOutcome:
             adj_rib_in={asn: dict(offers) for asn, offers in self.adj_rib_in.items()},
             adoption_round=dict(self.adoption_round),
             rounds=self.rounds,
-            best_keys=dict(self.best_keys) if self.best_keys is not None else None,
         )
 
 
@@ -141,44 +143,19 @@ class PropagationEngine:
             raise SimulationError("max_activations must be positive")
         self._graph = graph
         self._max_activations = max_activations
-        # Pre-compiled adjacency: for each AS, a tuple of entries
-        # (neighbor, role-of-neighbor-relative-to-AS,
-        #  pref-of-routes-from-neighbor, pref-the-neighbor-assigns,
-        #  always_export, is_sibling) — everything the hot announcement
-        # loop would otherwise recompute per offer.  ``for_relationship``
-        # rejects unrelated pairs, so every compiled role is a real
-        # relationship.
-        self._adjacency: dict[
-            int,
-            tuple[tuple[int, Relationship, PrefClass, PrefClass, bool, bool], ...],
-        ] = {}
+        # Pre-compiled adjacency: for each AS, a tuple of
+        # (neighbor, role-of-neighbor-relative-to-AS, pref-of-routes-from-neighbor).
+        self._adjacency: dict[int, tuple[tuple[int, Relationship, PrefClass], ...]] = {}
         for asn in graph:
             entries = []
             for neighbor in sorted(graph.neighbors_of(asn)):
                 role = graph.relationship(asn, neighbor)
-                entries.append(
-                    (
-                        neighbor,
-                        role,
-                        PrefClass.for_relationship(role),
-                        # The class the neighbour assigns to routes from
-                        # ``asn``: its role seen from the other side.
-                        PrefClass.for_relationship(role.inverse()),
-                        # Valley-free export to this neighbour is
-                        # unconditional for customers and siblings.
-                        role in (Relationship.CUSTOMER, Relationship.SIBLING),
-                        role is Relationship.SIBLING,
-                    )
-                )
+                entries.append((neighbor, role, PrefClass.for_relationship(role)))
             self._adjacency[asn] = tuple(entries)
 
     @property
     def graph(self) -> ASGraph:
         return self._graph
-
-    @property
-    def max_activations(self) -> int:
-        return self._max_activations
 
     # ------------------------------------------------------------------
     def propagate(
@@ -192,9 +169,6 @@ class PropagationEngine:
         warm_start: PropagationOutcome | None = None,
         seed_ases: Iterable[int] | None = None,
         import_filters: Mapping[int, ImportFilter] | None = None,
-        activation: str = "fifo",
-        activation_rng: random.Random | None = None,
-        incremental: bool = True,
     ) -> PropagationOutcome:
         """Run propagation of ``origin``'s prefix to a routing fixpoint.
 
@@ -212,30 +186,9 @@ class PropagationEngine:
         ``import_filters`` maps an AS to a receiver-side vetting
         function: offers it returns False for never enter that AS's
         decision process (the deployment hook for defensive policies).
-
-        ``activation`` selects the worklist discipline: ``"fifo"`` (the
-        default, and the order every reproduction artefact is pinned
-        to), ``"lifo"``, or ``"random"`` (drawing from
-        ``activation_rng``).  Under valley-free policies the converged
-        ``best`` routes are the same for every fair activation order
-        (Gao-Rexford stability); only the adoption-round stamps are
-        order-dependent.  The alternative orders exist so tests can
-        check that determinism claim.
-
-        ``incremental=False`` disables the O(1) per-offer decision fast
-        path and reruns the full Adj-RIB-in scan on every rib change —
-        the reference discipline, bit-identical by construction.  The
-        invariant suite diffs the two modes, and benchmarks use the
-        reference mode to time the pre-fast-path cost model.
         """
         if origin not in self._adjacency:
             raise UnknownASError(origin)
-        if activation not in ("fifo", "lifo", "random"):
-            raise SimulationError(
-                f"activation must be 'fifo', 'lifo' or 'random', got {activation!r}"
-            )
-        if activation == "random" and activation_rng is None:
-            activation_rng = random.Random(0)
         prepending = prepending or PrependingPolicy()
         modifiers = dict(modifiers or {})
         export_policy = export_policy or ExportPolicy()
@@ -269,25 +222,6 @@ class PropagationEngine:
             adoption = {origin: 0}
             initial = [origin]
 
-        # Preference key of each AS's current best route, kept in sync
-        # with ``best`` so most offer arrivals decide in O(1) instead of
-        # rescanning the receiver's whole Adj-RIB-in.  A warm start from
-        # an engine-produced outcome reuses its carried keys.
-        if warm_start is not None and warm_start.best_keys is not None:
-            best_key: dict[int, tuple[int, int, int] | None] = state.best_keys
-        else:
-            best_key = {
-                asn: (None if route is None else preference_key(route))
-                for asn, route in best.items()
-            }
-
-        # Hoisted policy state: the stock valley-free export test and
-        # the no-prepending common case are inlined in the hot loop;
-        # ExportPolicy subclasses keep the full method-call path.
-        stock_export = type(export_policy) is ExportPolicy
-        violators = export_policy.violators
-        pad_senders = prepending.senders()
-
         # Round stamp of the news each AS would currently announce.
         round_of: dict[int, int] = {asn: 0 for asn in initial}
         queue: deque[int] = deque(initial)
@@ -299,100 +233,28 @@ class PropagationEngine:
             operations += 1
             if operations > budget:
                 raise ConvergenceError(operations)
-            if activation == "fifo":
-                sender = queue.popleft()
-            elif activation == "lifo":
-                sender = queue.pop()
-            else:
-                index = activation_rng.randrange(len(queue))
-                queue[index], queue[-1] = queue[-1], queue[index]
-                sender = queue.pop()
+            sender = queue.popleft()
             queued.discard(sender)
             route = best[sender]
             sender_round = round_of.get(sender, 0)
-            if route is not None:
-                base = route.path
-                modifier = modifiers.get(sender)
-                if modifier is not None:
-                    base = modifier(base)
-                route_pref = route.pref
-                # ORIGIN/CUSTOMER/SIBLING routes may cross peer and
-                # provider links (policy.py's _EXPORTABLE_UPWARD).
-                exportable_up = route_pref <= PrefClass.SIBLING
-                sender_violates = sender in violators
-                sender_pads = sender in pad_senders
-                # Announced path per padding count: identical for every
-                # neighbour with the same count, so build each once.
-                paths_by_count: dict[int, tuple[int, ...]] = {}
-            for neighbor, role, _pref, inv_pref, always_export, is_sibling in (
-                self._adjacency[sender]
-            ):
-                if route is None:
-                    offer = None
-                elif not (
-                    (sender_violates or always_export or exportable_up)
-                    if stock_export
-                    else export_policy.allows_export(sender, role, route_pref)
-                ):
-                    offer = None
-                else:
-                    count = prepending.padding(sender, neighbor) if sender_pads else 1
-                    path_out = paths_by_count.get(count)
-                    if path_out is None:
-                        path_out = (sender,) * count + base
-                        paths_by_count[count] = path_out
-                    # Receiver-side loop prevention: an AS never accepts
-                    # a path already containing its own ASN.
-                    if neighbor in path_out:
-                        offer = None
-                    elif is_sibling:
-                        # A sibling inherits the sender's own class (one
-                        # organisation, two ASNs).
-                        offer = (path_out, route_pref)
-                    else:
-                        # The sender's CUSTOMER is the receiver, for whom
-                        # the sender is a PROVIDER, and vice versa; peers
-                        # stay peers.
-                        offer = (path_out, inv_pref)
+            sender_modifier = modifiers.get(sender)
+            for neighbor, role, _pref in self._adjacency[sender]:
+                offer = self._make_offer(
+                    sender, neighbor, role, route,
+                    sender_modifier, prepending, export_policy,
+                )
                 rib = adj_rib_in[neighbor]
                 if rib.get(sender) == offer:
                     continue
                 rib[sender] = offer
                 if neighbor == origin:
                     continue  # the owner always keeps its own route
-                current = best[neighbor]
-                import_filter = import_filters.get(neighbor)
-                if import_filter is not None or not incremental:
-                    new_best, new_key = self._decide(neighbor, prefix, rib, import_filter)
-                elif offer is None:
-                    if current is not None and current.learned_from == sender:
-                        # The best offer was withdrawn: full re-decision.
-                        new_best, new_key = self._decide(neighbor, prefix, rib, None)
-                    else:
-                        continue  # losing a non-best offer changes nothing
-                else:
-                    path, pref = offer
-                    cand_key = (int(pref), len(path), sender)
-                    current_key = best_key[neighbor]
-                    if current is None:
-                        new_best, new_key = Route(prefix, path, sender, pref), cand_key
-                    elif current.learned_from == sender:
-                        if cand_key <= current_key:
-                            # The best offer improved (or kept its rank):
-                            # it stays the best — keys of other offers are
-                            # strictly worse than the old minimum.
-                            new_best, new_key = Route(prefix, path, sender, pref), cand_key
-                        else:
-                            new_best, new_key = self._decide(neighbor, prefix, rib, None)
-                    elif cand_key < current_key:
-                        new_best, new_key = Route(prefix, path, sender, pref), cand_key
-                    else:
-                        continue  # a worse-ranked offer cannot displace the best
-                if new_best == current:
-                    best_key[neighbor] = new_key
+                new_best = self._decide(
+                    neighbor, prefix, rib, import_filters.get(neighbor)
+                )
+                if new_best == best[neighbor]:
                     continue
                 best[neighbor] = new_best
-                best_key[neighbor] = new_key
                 stamp = sender_round + 1
                 adoption[neighbor] = stamp
                 round_of[neighbor] = stamp
@@ -408,38 +270,73 @@ class PropagationEngine:
             adj_rib_in=adj_rib_in,
             adoption_round=adoption,
             rounds=max_round,
-            best_keys=best_key,
         )
 
     # ------------------------------------------------------------------
+    def _make_offer(
+        self,
+        sender: int,
+        neighbor: int,
+        neighbor_role: Relationship,
+        route: Route | None,
+        modifier: PathModifier | None,
+        prepending: PrependingPolicy,
+        export_policy: ExportPolicy,
+    ) -> tuple[tuple[int, ...], PrefClass] | None:
+        """The ``(as_path, receiver_class)`` that ``sender`` offers
+        ``neighbor``, or ``None`` when nothing is exported.
+
+        ``receiver_class`` is the local-preference class the receiver
+        will assign: normally derived from its relationship to the
+        sender, but a sibling inherits the sender's own class — two
+        sibling ASNs are one organisation, so a customer route stays a
+        customer route (and stays exportable upward) when it crosses
+        the sibling link, while a provider route crossing it must not
+        suddenly become exportable.  The inheritance also keeps the
+        iteration convergent: un-inherited sibling leaks re-export
+        provider-learned routes upstream, which creates genuine
+        dispute wheels (persistent oscillation).
+        """
+        if route is None:
+            return None
+        if not export_policy.allows_export(sender, neighbor_role, route.pref):
+            return None
+        base = route.path
+        if modifier is not None:
+            base = modifier(base)
+        count = prepending.padding(sender, neighbor)
+        path_out = (sender,) * count + base
+        # Receiver-side loop prevention: an AS never accepts a path
+        # already containing its own ASN.
+        if neighbor in path_out:
+            return None
+        if neighbor_role is Relationship.SIBLING:
+            receiver_class = route.pref
+        else:
+            # The sender's CUSTOMER is the receiver, for whom the sender
+            # is a PROVIDER, and vice versa; peers stay peers.
+            receiver_class = PrefClass.for_relationship(neighbor_role.inverse())
+        return path_out, receiver_class
+
     def _decide(
         self,
         receiver: int,
         prefix: str,
         offers: Mapping[int, tuple[tuple[int, ...], PrefClass] | None],
         import_filter: ImportFilter | None = None,
-    ) -> tuple[Route | None, tuple[int, int, int] | None]:
-        """Run the full decision process over ``receiver``'s Adj-RIB-in.
-
-        Returns the selected route together with its preference key (the
-        propagation loop keeps per-AS keys to decide most offer arrivals
-        incrementally, and only falls back to this scan when the current
-        best offer worsened or an import filter is in play).
-        """
-        best_offer: tuple[tuple[int, ...], PrefClass] | None = None
-        best_neighbor = -1
+    ) -> Route | None:
+        """Run the decision process over ``receiver``'s Adj-RIB-in."""
+        best: Route | None = None
         best_key: tuple[int, int, int] | None = None
-        for entry in self._adjacency[receiver]:
-            neighbor = entry[0]
+        for neighbor, _role, _pref in self._adjacency[receiver]:
             offer = offers.get(neighbor)
             if offer is None:
                 continue
             path, pref = offer
             if import_filter is not None and not import_filter(neighbor, path):
                 continue
-            key = (int(pref), len(path), neighbor)
+            candidate = Route(prefix, path, neighbor, pref)
+            key = preference_key(candidate)
             if best_key is None or key < best_key:
-                best_offer, best_neighbor, best_key = offer, neighbor, key
-        if best_offer is None:
-            return None, None
-        return Route(prefix, best_offer[0], best_neighbor, best_offer[1]), best_key
+                best, best_key = candidate, key
+        return best

@@ -1,0 +1,97 @@
+"""Wall-clock benchmark: the sweep runner vs the seed serial path.
+
+The "before" side is the repository's original λ-sweep loop — one
+:func:`simulate_interception` per λ, each re-converging its own
+baseline — executed on the propagation engine vendored verbatim from
+the seed commit (``benchmarks/_seed_engine.py``).  The "after" side is
+``padding_sweep(..., workers=4)``: the runner's baseline cache derives
+all λ>1 baselines from one canonical convergence, and the worker pool
+fans the points out when the host actually has spare cores (single-CPU
+hosts clamp to the serial cached path — the speedup floor asserted
+here holds either way).
+
+Both sides produce identical rows; the assertion pins the ≥2× speedup
+the runner subsystem was built to deliver on the Figure-9 sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import _seed_engine
+
+from repro.attack.interception import simulate_interception
+from repro.experiments.base import build_world
+from repro.experiments.sweeps import padding_sweep
+from repro.topology.tiers import customer_cone
+
+SCALE = 0.25
+PADDINGS = tuple(range(1, 9))
+REPEATS = 3
+
+
+def _fig09_pair(world) -> tuple[int, int]:
+    """Attacker/victim exactly as fig09 picks them: top-2 customer cones."""
+    graph = world.graph
+    by_cone = sorted(
+        world.topology.tier1, key=lambda t: (-len(customer_cone(graph, t)), t)
+    )
+    return by_cone[0], by_cone[1]
+
+
+def _seed_sweep(engine, victim: int, attacker: int):
+    """The seed repo's padding_sweep loop, verbatim semantics."""
+    rows = []
+    for padding in PADDINGS:
+        result = simulate_interception(
+            engine, victim=victim, attacker=attacker, origin_padding=padding
+        )
+        rows.append(
+            (
+                padding,
+                100 * result.report.before_fraction,
+                100 * result.report.after_fraction,
+            )
+        )
+    return rows
+
+
+def _best_of(fn):
+    best, value = float("inf"), None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_bench_runner_speedup_over_seed_path():
+    world = build_world(seed=7, scale=SCALE)
+    attacker, victim = _fig09_pair(world)
+
+    seed_engine = _seed_engine.PropagationEngine(world.graph)
+    seed_time, seed_rows = _best_of(lambda: _seed_sweep(seed_engine, victim, attacker))
+
+    runner_time, runner_rows = _best_of(
+        lambda: padding_sweep(
+            world.engine,
+            victim=victim,
+            attacker=attacker,
+            paddings=PADDINGS,
+            workers=4,
+        )
+    )
+
+    assert runner_rows == seed_rows, "runner must reproduce the seed rows exactly"
+    ratio = seed_time / runner_time
+    print(
+        f"\nfig09 λ-sweep (scale={SCALE}, λ=1..{PADDINGS[-1]}): "
+        f"seed serial {seed_time * 1e3:.1f} ms, "
+        f"runner (workers=4) {runner_time * 1e3:.1f} ms, "
+        f"speedup {ratio:.2f}x"
+    )
+    assert ratio >= 2.0, f"runner speedup regressed: {ratio:.2f}x < 2x"

@@ -121,6 +121,7 @@ def simulate_interception(
     keep: int = 1,
     violate_policy: bool = False,
     prepending: PrependingPolicy | None = None,
+    baseline: PropagationOutcome | None = None,
 ) -> InterceptionResult:
     """Run one attack instance: converge the baseline, launch, re-converge.
 
@@ -129,6 +130,12 @@ def simulate_interception(
     overrides it).  The attack run warm-starts from the baseline so the
     attacked outcome's adoption rounds form the post-attack clock used
     by the detection-timing analysis.
+
+    ``baseline`` optionally supplies the already-converged pre-attack
+    outcome for the same victim/prefix/schedule (e.g. from a
+    :class:`repro.runner.BaselineCache`), so only the attack delta is
+    re-propagated.  It must equal what ``engine.propagate`` would
+    return for this schedule — the sweep runner guarantees that.
     """
     if origin_padding < 1:
         raise SimulationError("origin padding must be >= 1")
@@ -141,7 +148,12 @@ def simulate_interception(
     )
     if prepending is None:
         prepending = PrependingPolicy.uniform_origin(victim, origin_padding)
-    baseline = engine.propagate(victim, prefix=prefix, prepending=prepending)
+    if baseline is None:
+        baseline = engine.propagate(victim, prefix=prefix, prepending=prepending)
+    elif baseline.origin != victim or baseline.prefix != prefix:
+        raise SimulationError(
+            "supplied baseline must come from the same victim and prefix"
+        )
     export_policy = (
         ExportPolicy(frozenset({attacker})) if violate_policy else ExportPolicy()
     )

@@ -67,6 +67,44 @@ class PrependingPolicy:
         """All ASes with a non-default prepending configuration."""
         return frozenset(self._per_sender) | frozenset(s for s, _ in self._per_link)
 
+    def fingerprint(self) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int, int], ...]]:
+        """A hashable canonical form of the schedule.
+
+        Two policies that pad every link identically produce the same
+        fingerprint (entries that merely restate the no-prepending
+        default, or a per-link entry equal to its sender's uniform
+        setting, are dropped).  This is the cache key the sweep runner's
+        baseline memoisation is built on.
+        """
+        per_sender = tuple(
+            sorted((s, c) for s, c in self._per_sender.items() if c != 1)
+        )
+        per_link = tuple(
+            sorted(
+                (s, r, c)
+                for (s, r), c in self._per_link.items()
+                if c != self._per_sender.get(s, 1)
+            )
+        )
+        return per_sender, per_link
+
+    def uniform_origin_count(self, origin: int) -> int | None:
+        """``λ`` when this schedule is exactly "``origin`` pads every
+        announcement with ``λ`` copies and nobody else pads" (``1``
+        covers the empty schedule); ``None`` for any other shape.
+
+        Uniform-origin schedules are the family the baseline cache can
+        derive from a single converged run per victim.
+        """
+        per_sender, per_link = self.fingerprint()
+        if per_link:
+            return None
+        if not per_sender:
+            return 1
+        if len(per_sender) == 1 and per_sender[0][0] == origin:
+            return per_sender[0][1]
+        return None
+
     def copy(self) -> "PrependingPolicy":
         clone = PrependingPolicy()
         clone._per_link = dict(self._per_link)

@@ -74,10 +74,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     run_parser.add_argument("--scale", type=float, default=None)
     run_parser.add_argument("--pairs", type=int, default=None)
     run_parser.add_argument("--instances", type=int, default=None)
+    run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for experiments with parallel sweeps "
+        "(results are identical for any worker count)",
+    )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=None)
     all_parser.add_argument("--scale", type=float, default=None)
+    all_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for experiments with parallel sweeps",
+    )
 
     world_parser = subparsers.add_parser(
         "world", help="generate a topology and print its summary"
@@ -100,6 +109,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     campaign_parser.add_argument(
         "--placement", choices=("top-degree", "greedy-cover"), default="top-degree"
     )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the campaign's attack instances",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -112,7 +125,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _campaign(args)
     overrides = {
         name: getattr(args, name, None)
-        for name in ("seed", "scale", "pairs", "instances")
+        for name in ("seed", "scale", "pairs", "instances", "workers")
     }
     if args.command == "run":
         return _run_one(args.experiment, overrides)
@@ -155,7 +168,9 @@ def _campaign(args) -> int:
         monitors=args.monitors,
         placement=args.placement,
     )
-    campaign = study.campaign(pairs=args.pairs, padding=args.padding)
+    campaign = study.campaign(
+        pairs=args.pairs, padding=args.padding, workers=args.workers
+    )
     effective = campaign.effective
     print(
         f"campaign: {args.pairs} random attacks, λ={args.padding}, "

@@ -34,6 +34,14 @@ from repro.detection.timing import DetectionTiming, detection_timing
 from repro.exceptions import ExperimentError, SimulationError
 from repro.measurement.padding_model import PaddingBehaviorModel
 from repro.measurement.ribs import MonitorRIBs, build_monitor_ribs
+from repro.runner import (
+    CampaignPairTask,
+    SweepExecutor,
+    WorkerContext,
+    WorkerSpec,
+    resolve_workers,
+    sample_attack_pairs,
+)
 from repro.topology.generators import (
     GeneratedTopology,
     InternetTopologyConfig,
@@ -101,6 +109,7 @@ class InterceptionStudy:
             raise SimulationError(
                 f"unknown placement {placement!r}; use 'top-degree' or 'greedy-cover'"
             )
+        self._monitors = tuple(fleet)
         self._collector = RouteCollector(world.graph, fleet)
         self._detector = ASPPInterceptionDetector(world.graph)
 
@@ -220,22 +229,41 @@ class InterceptionStudy:
         attacker_pool: list[int] | None = None,
         victim_pool: list[int] | None = None,
         rng: random.Random | None = None,
+        workers: int | None = None,
     ) -> AttackCampaign:
-        """Run many random attack instances and detect each one."""
+        """Run many random attack instances and detect each one.
+
+        The attacker/victim pairs are sampled up front (same seeded
+        draw sequence as running them one by one, but with bounded
+        retries — pools that can only ever collide raise
+        :class:`ExperimentError` instead of spinning forever) and then
+        executed as independent tasks: serially in-process, or fanned
+        out over ``workers`` processes.  The campaign's results are
+        bit-identical for every worker count.
+        """
         if pairs < 1:
             raise ExperimentError("a campaign needs at least one pair")
         rng = rng or derive_rng(make_rng(self._seed), "study-campaign")
         attackers = attacker_pool if attacker_pool is not None else self._world.transit_ases
         victims = victim_pool if victim_pool is not None else self._world.graph.ases
+        sampled = sample_attack_pairs(attackers, victims, pairs, rng)
+        tasks = [
+            CampaignPairTask(attacker=attacker, victim=victim, padding=padding)
+            for attacker, victim in sampled
+        ]
+        spec = WorkerSpec(
+            self._world.graph,
+            monitors=self._monitors,
+            max_activations=self._engine.max_activations,
+        )
+        if resolve_workers(workers) == 1:
+            context = WorkerContext(spec, engine=self._engine)
+            outcomes = [task.run(context) for task in tasks]
+        else:
+            with SweepExecutor(spec, workers=workers) as executor:
+                outcomes = executor.run(tasks)
         campaign = AttackCampaign()
-        while len(campaign.results) < pairs:
-            attacker = rng.choice(attackers)
-            victim = rng.choice(victims)
-            if attacker == victim:
-                continue
-            result = self.run_attack(
-                victim=victim, attacker=attacker, padding=padding
-            )
+        for result, timing in outcomes:
             campaign.results.append(result)
-            campaign.timings.append(self.detect(result))
+            campaign.timings.append(timing)
         return campaign

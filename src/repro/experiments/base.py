@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import ExperimentError
+from repro.runner.sampling import sample_attack_pairs as sample_pairs
 from repro.topology.generators import (
     GeneratedTopology,
     InternetTopologyConfig,
@@ -125,10 +126,4 @@ def sample_attack_pairs(
     victims = list(victim_pool) if victim_pool is not None else world.graph.ases
     if not attackers or len(victims) < 2:
         raise ExperimentError("attack-pair pools are too small")
-    pairs: list[tuple[int, int]] = []
-    while len(pairs) < count:
-        attacker = rng.choice(attackers)
-        victim = rng.choice(victims)
-        if victim != attacker:
-            pairs.append((attacker, victim))
-    return pairs
+    return sample_pairs(attackers, victims, count, rng)

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attack.interception import simulate_interception
 from repro.exceptions import ExperimentError
 from repro.experiments.base import ExperimentResult, build_world
+from repro.experiments.sweeps import pair_grid
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig07Config", "run"]
@@ -25,6 +25,8 @@ class Fig07Config:
     scale: float = 1.0
     instances: int = 80
     origin_padding: int = 3
+    #: fan the attack instances out over this many worker processes
+    workers: int | None = None
 
 
 def run(config: Fig07Config = Fig07Config()) -> ExperimentResult:
@@ -38,22 +40,15 @@ def run(config: Fig07Config = Fig07Config()) -> ExperimentResult:
     rng.shuffle(pairs)
     pairs = pairs[: config.instances]
 
-    results = []
-    for attacker, victim in pairs:
-        outcome = simulate_interception(
+    results = [
+        (point.attacker, point.victim, point.before_fraction, point.after_fraction)
+        for point in pair_grid(
             world.engine,
-            victim=victim,
-            attacker=attacker,
+            pairs,
             origin_padding=config.origin_padding,
+            workers=config.workers,
         )
-        results.append(
-            (
-                attacker,
-                victim,
-                outcome.report.before_fraction,
-                outcome.report.after_fraction,
-            )
-        )
+    ]
     # The paper ranks instances by pollution range (descending).
     results.sort(key=lambda item: -item[3])
     rows = [

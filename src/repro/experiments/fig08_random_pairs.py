@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attack.interception import simulate_interception
 from repro.experiments.base import ExperimentResult, build_world, sample_attack_pairs
+from repro.experiments.sweeps import pair_grid
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig08Config", "run"]
@@ -24,6 +24,8 @@ class Fig08Config:
     scale: float = 1.0
     instances: int = 27
     origin_padding: int = 3
+    #: fan the attack instances out over this many worker processes
+    workers: int | None = None
 
 
 def run(config: Fig08Config = Fig08Config()) -> ExperimentResult:
@@ -32,22 +34,15 @@ def run(config: Fig08Config = Fig08Config()) -> ExperimentResult:
     rng = derive_rng(make_rng(config.seed), "fig08-pairs")
     pairs = sample_attack_pairs(world, config.instances, rng)
 
-    results = []
-    for attacker, victim in pairs:
-        outcome = simulate_interception(
+    results = [
+        (point.attacker, point.victim, point.before_fraction, point.after_fraction)
+        for point in pair_grid(
             world.engine,
-            victim=victim,
-            attacker=attacker,
+            pairs,
             origin_padding=config.origin_padding,
+            workers=config.workers,
         )
-        results.append(
-            (
-                attacker,
-                victim,
-                outcome.report.before_fraction,
-                outcome.report.after_fraction,
-            )
-        )
+    ]
     results.sort(key=lambda item: -item[3])
     rows = [
         (

@@ -30,6 +30,8 @@ class Fig09Config:
     seed: int = 7
     scale: float = 1.0
     max_padding: int = 8
+    #: fan the λ points out over this many worker processes (None = serial)
+    workers: int | None = None
 
 
 def run(config: Fig09Config = Fig09Config()) -> ExperimentResult:
@@ -47,6 +49,7 @@ def run(config: Fig09Config = Fig09Config()) -> ExperimentResult:
         victim=victim,
         attacker=attacker,
         paddings=range(1, config.max_padding + 1),
+        workers=config.workers,
     )
     cone_pct = 100 * len(customer_cone(graph, attacker)) / len(graph)
     after = {padding: after_pct for padding, _, after_pct in rows}

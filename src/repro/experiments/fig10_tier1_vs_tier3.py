@@ -34,6 +34,8 @@ class Fig10Config:
     seed: int = 7
     scale: float = 1.0
     max_padding: int = 8
+    #: fan the λ points out over this many worker processes (None = serial)
+    workers: int | None = None
 
 
 def _choose_pair(world) -> tuple[int, int]:
@@ -63,6 +65,7 @@ def run(config: Fig10Config = Fig10Config()) -> ExperimentResult:
         victim=victim,
         attacker=attacker,
         paddings=range(1, config.max_padding + 1),
+        workers=config.workers,
     )
     after = {padding: after_pct for padding, _, after_pct in rows}
     summary = {

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import ExperimentError
+from repro.runner import BaselineCache
 from repro.experiments.base import ExperimentResult, build_world
 from repro.experiments.sweeps import padding_sweep
 
@@ -39,6 +40,8 @@ class Fig11Config:
     seed: int = 7
     scale: float = 1.0
     max_padding: int = 8
+    #: fan the λ points out over this many worker processes (None = serial)
+    workers: int | None = None
 
 
 def _choose_actors(world) -> tuple[int, int, int]:
@@ -77,11 +80,23 @@ def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
     chained_graph.add_s2s(helper, victim)
     chained_engine = PropagationEngine(chained_graph)
 
+    # The two chained series attack from identical pre-attack baselines,
+    # so they share one cache; the plain engine needs its own.
+    chained_cache = BaselineCache(chained_engine)
     no_chain = padding_sweep(
-        plain_engine, victim=victim, attacker=attacker, paddings=paddings
+        plain_engine,
+        victim=victim,
+        attacker=attacker,
+        paddings=paddings,
+        workers=config.workers,
     )
     with_chain = padding_sweep(
-        chained_engine, victim=victim, attacker=attacker, paddings=paddings
+        chained_engine,
+        victim=victim,
+        attacker=attacker,
+        paddings=paddings,
+        workers=config.workers,
+        cache=chained_cache,
     )
     violating = padding_sweep(
         chained_engine,
@@ -89,6 +104,8 @@ def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
         attacker=attacker,
         paddings=paddings,
         violate_policy=True,
+        workers=config.workers,
+        cache=chained_cache,
     )
     rows = [
         (padding, round(plain_after, 1), round(chain_after, 1), round(violate_after, 1))

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.exceptions import ExperimentError
 from repro.experiments.base import ExperimentResult, build_world
 from repro.experiments.sweeps import padding_sweep
+from repro.runner import BaselineCache
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig12Config", "run"]
@@ -24,6 +25,8 @@ class Fig12Config:
     seed: int = 7
     scale: float = 1.0
     max_padding: int = 8
+    #: fan the λ points out over this many worker processes (None = serial)
+    workers: int | None = None
 
 
 def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
@@ -45,11 +48,15 @@ def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
     attacker = rng.choice(small_transit)
     victim = rng.choice([s for s in world.topology.stubs if s != attacker])
 
+    # Both series share the victim's pre-attack baselines.
+    cache = BaselineCache(world.engine)
     valley_free = padding_sweep(
         world.engine,
         victim=victim,
         attacker=attacker,
         paddings=range(1, config.max_padding + 1),
+        workers=config.workers,
+        cache=cache,
     )
     violating = padding_sweep(
         world.engine,
@@ -57,6 +64,8 @@ def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
         attacker=attacker,
         paddings=range(1, config.max_padding + 1),
         violate_policy=True,
+        workers=config.workers,
+        cache=cache,
     )
     rows = [
         (padding, round(vf_after, 1), round(vi_after, 1))

@@ -1,18 +1,55 @@
-"""Shared λ-sweep machinery for Figures 9-12.
+"""Shared sweep machinery for Figures 7-12, backed by the runner.
 
-Each of those figures fixes one attacker/victim pair and sweeps the
-number of prepended ASNs, plotting the fraction of polluted ASes for
-one or two attacker policies.
+Each λ-sweep figure fixes one attacker/victim pair and sweeps the
+number of prepended ASNs; the pair-grid figures fix λ and sweep
+attacker/victim pairs.  Both decompose into independent
+:class:`~repro.runner.SweepPointTask` instances, so they share one
+execution path: serial in-process (with the baseline cache warm across
+points) or fanned out over a process pool via
+:class:`~repro.runner.SweepExecutor`.  The task list, and therefore
+the result rows, are identical for every worker count.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.attack.interception import simulate_interception
 from repro.bgp.engine import PropagationEngine
+from repro.runner import (
+    BaselineCache,
+    SweepExecutor,
+    SweepPointResult,
+    SweepPointTask,
+    WorkerContext,
+    WorkerSpec,
+    resolve_workers,
+)
 
-__all__ = ["padding_sweep"]
+__all__ = ["padding_sweep", "pair_grid"]
+
+
+def _run_tasks(
+    engine: PropagationEngine,
+    tasks: Sequence[SweepPointTask],
+    *,
+    workers: int | None,
+    cache: BaselineCache | None,
+) -> list[SweepPointResult]:
+    """Run sweep tasks serially on ``engine`` or across a process pool."""
+    spec = WorkerSpec(engine.graph, max_activations=engine.max_activations)
+    if resolve_workers(workers) == 1:
+        ctx = WorkerContext(spec, engine=engine, cache=cache)
+        for task in tasks:
+            # Warm the whole uniform-λ family for each victim in one
+            # canonical pass (repeat victims are already-cached no-ops).
+            ctx.cache.prefetch_uniform(
+                task.victim,
+                [t.padding for t in tasks if t.victim == task.victim],
+                prefix=task.prefix,
+            )
+        return [task.run(ctx) for task in tasks]
+    with SweepExecutor(spec, workers=workers) as executor:
+        return executor.run(tasks)
 
 
 def padding_sweep(
@@ -22,26 +59,48 @@ def padding_sweep(
     attacker: int,
     paddings: Sequence[int],
     violate_policy: bool = False,
+    workers: int | None = None,
+    cache: BaselineCache | None = None,
 ) -> list[tuple[int, float, float]]:
     """Run the attack for each λ; return ``(λ, before%, after%)`` rows.
 
     Fractions are percentages of ASes whose best path traverses the
-    attacker, matching the paper's y-axis.
+    attacker, matching the paper's y-axis.  ``workers`` fans the λ
+    points out over that many processes (``None``/``0``/``1`` = serial
+    in-process); the rows are bit-identical for every worker count.
+    ``cache`` optionally shares one :class:`BaselineCache` across
+    several serial sweeps on the same engine (e.g. a figure's
+    valley-free and policy-violating series, whose baselines coincide).
     """
-    rows: list[tuple[int, float, float]] = []
-    for padding in paddings:
-        result = simulate_interception(
-            engine,
+    tasks = [
+        SweepPointTask(
             victim=victim,
             attacker=attacker,
-            origin_padding=padding,
+            padding=padding,
             violate_policy=violate_policy,
         )
-        rows.append(
-            (
-                padding,
-                100 * result.report.before_fraction,
-                100 * result.report.after_fraction,
-            )
-        )
-    return rows
+        for padding in paddings
+    ]
+    results = _run_tasks(engine, tasks, workers=workers, cache=cache)
+    return [result.row() for result in results]
+
+
+def pair_grid(
+    engine: PropagationEngine,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    origin_padding: int,
+    workers: int | None = None,
+    cache: BaselineCache | None = None,
+) -> list[SweepPointResult]:
+    """Run one fixed-λ attack per ``(attacker, victim)`` pair.
+
+    Results come back in ``pairs`` order regardless of worker count.
+    Serially, victims recurring across pairs (Figure 7's Tier-1 × Tier-1
+    grid) hit the baseline cache instead of re-converging.
+    """
+    tasks = [
+        SweepPointTask(victim=victim, attacker=attacker, padding=origin_padding)
+        for attacker, victim in pairs
+    ]
+    return _run_tasks(engine, tasks, workers=workers, cache=cache)

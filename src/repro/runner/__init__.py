@@ -1,0 +1,42 @@
+"""Sweep runner: baseline caching plus process-pool fan-out.
+
+Sweeps and campaigns are embarrassingly parallel — every (attacker,
+victim, λ) point is an independent propagation — and embarrassingly
+repetitive — every point re-converges a pre-attack baseline some other
+point already computed.  This package attacks both: a
+:class:`BaselineCache` memoises converged baselines (deriving the whole
+uniform-λ family from one canonical run per victim), and a
+:class:`SweepExecutor` fans task batches out over worker processes,
+shipping the topology once per worker and keeping results bit-identical
+to the serial path regardless of worker count.
+"""
+
+from repro.runner.cache import (
+    BaselineCache,
+    derive_uniform_baseline,
+    derive_uniform_family,
+)
+from repro.runner.executor import SweepExecutor, available_cpus, resolve_workers
+from repro.runner.sampling import sample_attack_pairs
+from repro.runner.tasks import (
+    CampaignPairTask,
+    SweepPointResult,
+    SweepPointTask,
+    WorkerContext,
+    WorkerSpec,
+)
+
+__all__ = [
+    "BaselineCache",
+    "CampaignPairTask",
+    "SweepExecutor",
+    "SweepPointResult",
+    "SweepPointTask",
+    "WorkerContext",
+    "WorkerSpec",
+    "available_cpus",
+    "derive_uniform_baseline",
+    "derive_uniform_family",
+    "resolve_workers",
+    "sample_attack_pairs",
+]

@@ -1,0 +1,299 @@
+"""Memoisation of converged pre-attack baselines.
+
+Every sweep point and campaign instance first converges the victim's
+*no-attack* routing state, then warm-starts the attack from it.  Sweeps
+repeat that baseline work constantly: a λ-sweep revisits the same victim
+eight times, a figure with two attacker-policy series converges every
+baseline twice, and a campaign re-propagates a victim's baseline for
+every attacker drawn against it.
+
+:class:`BaselineCache` removes the repetition.  It memoises converged
+:class:`~repro.bgp.engine.PropagationOutcome` objects per ``(victim,
+prefix, prepending-schedule fingerprint)``, and for the dominant family
+of schedules — the victim padding uniformly with ``λ`` copies — it
+converges only one *canonical* baseline per victim (``λ = 1``) and
+**derives** every other λ from it by rewriting the origin's padded run.
+
+The derivation is exact, not approximate.  Under a uniform-origin
+schedule every candidate path towards the victim carries the same
+trailing ``λ``-run of the victim's ASN, so switching λ shifts all path
+lengths equally: local-preference classes, length comparisons, the
+lowest-neighbour tie-break, loop checks and export decisions are all
+unchanged, which makes the engine's entire activation trace — and
+therefore ``best``, ``adj_rib_in``, ``adoption_round`` and ``rounds`` —
+identical up to the padded-run rewrite.  The invariant suite pins this
+equivalence on randomized topologies
+(``tests/runner/test_baseline_cache.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from repro.bgp.decision import preference_key
+from repro.bgp.engine import PropagationEngine, PropagationOutcome
+from repro.bgp.prepending import PrependingPolicy
+from repro.bgp.route import DEFAULT_PREFIX, Route
+from repro.exceptions import SimulationError
+
+__all__ = ["BaselineCache", "derive_uniform_baseline", "derive_uniform_family"]
+
+
+def derive_uniform_baseline(
+    canonical: PropagationOutcome, victim: int, padding: int
+) -> PropagationOutcome:
+    """The converged baseline for uniform origin padding ``λ = padding``,
+    derived from the canonical ``λ = 1`` outcome for the same victim.
+
+    Every AS-PATH in a uniform-origin baseline ends with the victim's
+    padded run; the derived outcome rewrites that run to ``padding``
+    copies and leaves everything else — including the adoption rounds,
+    which count propagation hops and are λ-invariant — untouched.
+    """
+    if canonical.origin != victim:
+        raise SimulationError(
+            f"canonical baseline originates at AS{canonical.origin}, not AS{victim}"
+        )
+    if padding < 1:
+        raise SimulationError("origin padding must be >= 1")
+    if padding == 1:
+        return canonical
+    run = (victim,) * padding
+    delta = padding - 1
+    prefix = canonical.prefix
+    # Carried preference keys just shift in the length component; fall
+    # back to recomputing when the canonical outcome doesn't carry them.
+    keys = canonical.best_keys
+    if keys is None:
+        keys = {
+            asn: (None if route is None else preference_key(route))
+            for asn, route in canonical.best.items()
+        }
+    best: dict[int, Route | None] = {}
+    best_keys: dict[int, tuple[int, int, int] | None] = {}
+    for asn, route in canonical.best.items():
+        key = keys[asn]
+        if route is None:
+            best[asn] = None
+            best_keys[asn] = None
+            continue
+        path = route.path
+        if not path:
+            # The victim's own route has an empty path: nothing to pad.
+            best[asn] = route
+            best_keys[asn] = key
+            continue
+        best[asn] = Route(prefix, path[:-1] + run, route.learned_from, route.pref)
+        best_keys[asn] = (key[0], key[1] + delta, key[2])
+    adj_rib_in = {
+        asn: {
+            neighbor: (None if offer is None else (offer[0][:-1] + run, offer[1]))
+            for neighbor, offer in offers.items()
+        }
+        for asn, offers in canonical.adj_rib_in.items()
+    }
+    return PropagationOutcome(
+        prefix=canonical.prefix,
+        origin=victim,
+        best=best,
+        adj_rib_in=adj_rib_in,
+        adoption_round=dict(canonical.adoption_round),
+        rounds=canonical.rounds,
+        best_keys=best_keys,
+    )
+
+
+def derive_uniform_family(
+    canonical: PropagationOutcome, victim: int, paddings: Iterable[int]
+) -> dict[int, PropagationOutcome]:
+    """Derive the baselines for several uniform paddings in one pass.
+
+    Produces exactly ``{p: derive_uniform_baseline(canonical, victim, p)}``
+    but walks the canonical outcome once, sharing the per-route
+    iteration and attribute-access overhead across the whole λ family —
+    the λ-sweep fast path.
+    """
+    if canonical.origin != victim:
+        raise SimulationError(
+            f"canonical baseline originates at AS{canonical.origin}, not AS{victim}"
+        )
+    targets = sorted({int(p) for p in paddings})
+    if targets and targets[0] < 1:
+        raise SimulationError("origin padding must be >= 1")
+    derived = [p for p in targets if p > 1]
+    outcomes: dict[int, PropagationOutcome] = {}
+    if 1 in targets:
+        outcomes[1] = canonical
+    if not derived:
+        return outcomes
+    prefix = canonical.prefix
+    keys = canonical.best_keys
+    if keys is None:
+        keys = {
+            asn: (None if route is None else preference_key(route))
+            for asn, route in canonical.best.items()
+        }
+    runs = {p: (victim,) * p for p in derived}
+    bests: dict[int, dict[int, Route | None]] = {p: {} for p in derived}
+    best_keys: dict[int, dict[int, tuple[int, int, int] | None]] = {
+        p: {} for p in derived
+    }
+    for asn, route in canonical.best.items():
+        key = keys[asn]
+        if route is None:
+            for p in derived:
+                bests[p][asn] = None
+                best_keys[p][asn] = None
+            continue
+        path = route.path
+        if not path:
+            for p in derived:
+                bests[p][asn] = route
+                best_keys[p][asn] = key
+            continue
+        stem = path[:-1]
+        learned_from = route.learned_from
+        pref = route.pref
+        k0, k1, k2 = key
+        for p in derived:
+            bests[p][asn] = Route(prefix, stem + runs[p], learned_from, pref)
+            best_keys[p][asn] = (k0, k1 + p - 1, k2)
+    ribs: dict[int, dict[int, dict[int, tuple | None]]] = {p: {} for p in derived}
+    for asn, offers in canonical.adj_rib_in.items():
+        per_p: dict[int, dict[int, tuple | None]] = {p: {} for p in derived}
+        for neighbor, offer in offers.items():
+            if offer is None:
+                for p in derived:
+                    per_p[p][neighbor] = None
+            else:
+                stem = offer[0][:-1]
+                pref = offer[1]
+                for p in derived:
+                    per_p[p][neighbor] = (stem + runs[p], pref)
+        for p in derived:
+            ribs[p][asn] = per_p[p]
+    for p in derived:
+        outcomes[p] = PropagationOutcome(
+            prefix=prefix,
+            origin=victim,
+            best=bests[p],
+            adj_rib_in=ribs[p],
+            adoption_round=dict(canonical.adoption_round),
+            rounds=canonical.rounds,
+            best_keys=best_keys[p],
+        )
+    return outcomes
+
+
+class BaselineCache:
+    """LRU memo of converged pre-attack baselines for one engine.
+
+    ``max_entries`` bounds the number of retained outcomes (a full-scale
+    outcome holds routes and Adj-RIBs-in for every AS, so unbounded
+    campaign caches would grow with the victim pool).  Canonical λ=1
+    baselines share the same store, so a victim's canonical entry stays
+    hot as long as its derived λ variants are in use.
+
+    The cache returns the *same* outcome object to every caller with an
+    equal schedule; callers must treat baselines as immutable (the
+    engine's warm start already clones before mutating).
+    """
+
+    def __init__(self, engine: PropagationEngine, *, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise SimulationError("max_entries must be positive")
+        self._engine = engine
+        self._max_entries = max_entries
+        self._entries: OrderedDict[tuple, PropagationOutcome] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.derived = 0
+
+    @property
+    def engine(self) -> PropagationEngine:
+        return self._engine
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def baseline(
+        self,
+        victim: int,
+        *,
+        prefix: str = DEFAULT_PREFIX,
+        prepending: PrependingPolicy | None = None,
+    ) -> PropagationOutcome:
+        """The converged no-attack outcome for ``victim`` under
+        ``prepending`` — memoised, and derived from the victim's
+        canonical baseline whenever the schedule is uniform-origin."""
+        prepending = prepending or PrependingPolicy()
+        key = (victim, prefix, prepending.fingerprint())
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        padding = prepending.uniform_origin_count(victim)
+        if padding is None:
+            # Arbitrary schedule: converge it directly.
+            outcome = self._engine.propagate(victim, prefix=prefix, prepending=prepending)
+        else:
+            canonical = self._canonical(victim, prefix)
+            if padding == 1:
+                return canonical  # _canonical already stored it under this key
+            outcome = derive_uniform_baseline(canonical, victim, padding)
+            self.derived += 1
+        self._store(key, outcome)
+        return outcome
+
+    def prefetch_uniform(
+        self,
+        victim: int,
+        paddings: Iterable[int],
+        *,
+        prefix: str = DEFAULT_PREFIX,
+    ) -> None:
+        """Warm the cache for a whole uniform-λ family in one pass.
+
+        A λ-sweep knows every padding it is about to visit; deriving
+        them together amortises the walk over the canonical outcome, so
+        the per-λ cost drops well below one-at-a-time derivation.
+        Already-cached λs are skipped.
+        """
+        missing = []
+        for p in sorted({int(p) for p in paddings}):
+            key = (victim, prefix, PrependingPolicy.uniform_origin(victim, p).fingerprint())
+            if key not in self._entries:
+                missing.append((p, key))
+        if not missing:
+            return
+        canonical = self._canonical(victim, prefix)
+        family = derive_uniform_family(canonical, victim, [p for p, _ in missing])
+        for p, key in missing:
+            if p == 1:
+                continue  # _canonical already stored it
+            self._store(key, family[p])
+            self.misses += 1
+            self.derived += 1
+
+    # ------------------------------------------------------------------
+    def _canonical(self, victim: int, prefix: str) -> PropagationOutcome:
+        """The victim's λ=1 baseline (converged at most once)."""
+        key = (victim, prefix, PrependingPolicy().fingerprint())
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            return cached
+        outcome = self._engine.propagate(
+            victim, prefix=prefix, prepending=PrependingPolicy.uniform_origin(victim, 1)
+        )
+        self._store(key, outcome)
+        return outcome
+
+    def _store(self, key: tuple, outcome: PropagationOutcome) -> None:
+        self._entries[key] = outcome
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)

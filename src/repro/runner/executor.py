@@ -1,0 +1,140 @@
+"""Process-pool execution of independent sweep tasks.
+
+The executor fans a list of task descriptors (:mod:`repro.runner.tasks`)
+out over worker processes.  Each worker receives the
+:class:`~repro.runner.tasks.WorkerSpec` exactly once via the pool
+initializer — the topology is pickled per *worker*, the propagation
+engine is compiled per worker, and every task the worker picks up
+shares that worker's :class:`~repro.runner.cache.BaselineCache`.
+
+Results come back in task-submission order (``ProcessPoolExecutor.map``
+preserves ordering), and each task is a pure function of its inputs, so
+the output of a run is bit-identical regardless of the worker count —
+including the ``workers <= 1`` path, which runs the same task objects
+in-process against a single shared context without any pool at all.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.bgp.engine import PropagationEngine
+from repro.exceptions import SimulationError
+from repro.runner.tasks import WorkerContext, WorkerSpec
+
+__all__ = ["SweepExecutor", "available_cpus", "resolve_workers"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: int | None, *, force: bool = False) -> int:
+    """Normalise a requested worker count.
+
+    ``None`` and ``0`` mean "serial" (1).  Requests beyond the CPUs the
+    scheduler will actually grant are clamped — extra processes on a
+    saturated machine only add pickling overhead — unless ``force`` is
+    set, which the differential tests use to exercise the real
+    multi-process path even on single-CPU hosts.
+    """
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise SimulationError(f"worker count must be >= 0, got {workers}")
+    if workers in (0, 1):
+        return 1
+    if force:
+        return workers
+    return min(workers, available_cpus())
+
+
+# Per-process context, built once by the pool initializer.
+_CONTEXT: WorkerContext | None = None
+
+
+def _init_worker(spec: WorkerSpec) -> None:
+    global _CONTEXT
+    _CONTEXT = WorkerContext(spec)
+
+
+def _run_task(task: Any) -> Any:
+    assert _CONTEXT is not None, "worker used before initialization"
+    return task.run(_CONTEXT)
+
+
+class SweepExecutor:
+    """Runs task batches, serially in-process or across a process pool.
+
+    With an effective worker count of 1 the executor builds (or adopts,
+    via ``engine``) a single :class:`WorkerContext` and runs tasks
+    inline — no pool, no pickling, but the identical code path per
+    task.  With more workers it lazily spins up a
+    :class:`~concurrent.futures.ProcessPoolExecutor` whose processes
+    each initialise their own context from ``spec``.
+
+    Use as a context manager (or call :meth:`close`) so pool processes
+    are reaped; running several batches through one executor reuses
+    both the pool and the workers' warm baseline caches.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        *,
+        workers: int | None = None,
+        force_processes: bool = False,
+        engine: PropagationEngine | None = None,
+    ) -> None:
+        self.spec = spec
+        self.workers = resolve_workers(workers, force=force_processes)
+        self._pool: ProcessPoolExecutor | None = None
+        self._context: WorkerContext | None = None
+        if self.workers == 1:
+            self._context = WorkerContext(spec, engine=engine)
+
+    @property
+    def context(self) -> WorkerContext | None:
+        """The in-process context (serial mode only)."""
+        return self._context
+
+    def run(self, tasks: Sequence[Any]) -> list[Any]:
+        """Execute ``tasks``, returning results in task order."""
+        if not tasks:
+            return []
+        if self._context is not None:
+            ctx = self._context
+            return [task.run(ctx) for task in tasks]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(tasks) // (4 * self.workers))
+        return list(pool.map(_run_task, tasks, chunksize=chunksize))
+
+    def map(self, tasks: Iterable[Any]) -> list[Any]:
+        return self.run(list(tasks))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.spec,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

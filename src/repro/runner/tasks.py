@@ -1,0 +1,181 @@
+"""Task descriptors executed by the sweep runner.
+
+A task is a small frozen dataclass naming one independent propagation
+experiment — cheap to pickle to a worker process — plus a ``run``
+method that executes it against a :class:`WorkerContext` (the
+per-worker engine, baseline cache and detection pipeline).  The same
+descriptors drive the in-process serial path, which is what makes the
+serial and parallel runners bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.interception import InterceptionResult, simulate_interception
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.bgp.route import DEFAULT_PREFIX
+from repro.detection.alarms import Confidence
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.timing import DetectionTiming, detection_timing
+from repro.exceptions import SimulationError
+from repro.runner.cache import BaselineCache
+from repro.topology.asgraph import ASGraph
+
+__all__ = [
+    "WorkerSpec",
+    "WorkerContext",
+    "SweepPointTask",
+    "SweepPointResult",
+    "CampaignPairTask",
+]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild its execution context.
+
+    The spec is shipped to each worker exactly once (as pool
+    initializer arguments), so the topology is pickled per worker, not
+    per task, and the engine's adjacency tables are compiled once per
+    worker process.
+    """
+
+    graph: ASGraph
+    #: monitor fleet for tasks that run detection; ``None`` when the
+    #: workload is pure propagation (λ-sweeps).
+    monitors: tuple[int, ...] | None = None
+    max_activations: int = 50
+    cache_entries: int = 64
+
+
+class WorkerContext:
+    """Per-worker state: compiled engine, baseline cache, detection."""
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        *,
+        engine: PropagationEngine | None = None,
+        cache: BaselineCache | None = None,
+    ) -> None:
+        self.graph = spec.graph
+        self.engine = engine if engine is not None else PropagationEngine(
+            spec.graph, max_activations=spec.max_activations
+        )
+        if cache is not None and cache.engine is not self.engine:
+            raise SimulationError("shared cache must belong to this context's engine")
+        self.cache = (
+            cache
+            if cache is not None
+            else BaselineCache(self.engine, max_entries=spec.cache_entries)
+        )
+        self._monitors = spec.monitors
+        self._collector: RouteCollector | None = None
+        self._detector: ASPPInterceptionDetector | None = None
+
+    @property
+    def collector(self) -> RouteCollector:
+        if self._collector is None:
+            if self._monitors is None:
+                raise SimulationError(
+                    "this worker was built without a monitor fleet; campaign "
+                    "tasks need WorkerSpec.monitors"
+                )
+            self._collector = RouteCollector(self.graph, self._monitors)
+        return self._collector
+
+    @property
+    def detector(self) -> ASPPInterceptionDetector:
+        if self._detector is None:
+            self._detector = ASPPInterceptionDetector(self.graph)
+        return self._detector
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """Impact of one sweep point, compact enough to ship between
+    processes without dragging the full routing state along."""
+
+    attacker: int
+    victim: int
+    padding: int
+    before_fraction: float
+    after_fraction: float
+    attacker_kept_route: bool
+
+    def row(self) -> tuple[int, float, float]:
+        """The ``(λ, before%, after%)`` row the figure harnesses plot."""
+        return (self.padding, 100 * self.before_fraction, 100 * self.after_fraction)
+
+
+@dataclass(frozen=True)
+class SweepPointTask:
+    """One (attacker, victim, λ) interception instance."""
+
+    victim: int
+    attacker: int
+    padding: int
+    violate_policy: bool = False
+    strip_mode: str = "origin"
+    keep: int = 1
+    prefix: str = DEFAULT_PREFIX
+
+    def run(self, ctx: WorkerContext) -> SweepPointResult:
+        prepending = PrependingPolicy.uniform_origin(self.victim, self.padding)
+        baseline = ctx.cache.baseline(
+            self.victim, prefix=self.prefix, prepending=prepending
+        )
+        result = simulate_interception(
+            ctx.engine,
+            victim=self.victim,
+            attacker=self.attacker,
+            origin_padding=self.padding,
+            prefix=self.prefix,
+            strip_mode=self.strip_mode,
+            keep=self.keep,
+            violate_policy=self.violate_policy,
+            prepending=prepending,
+            baseline=baseline,
+        )
+        return SweepPointResult(
+            attacker=self.attacker,
+            victim=self.victim,
+            padding=self.padding,
+            before_fraction=result.report.before_fraction,
+            after_fraction=result.report.after_fraction,
+            attacker_kept_route=result.attacker_has_route,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignPairTask:
+    """One campaign instance: attack plus monitor-fleet detection."""
+
+    attacker: int
+    victim: int
+    padding: int
+    min_confidence: Confidence = Confidence.LOW
+    attacker_feeds_collector: bool = field(default=True)
+
+    def run(self, ctx: WorkerContext) -> tuple[InterceptionResult, DetectionTiming]:
+        prepending = PrependingPolicy.uniform_origin(self.victim, self.padding)
+        baseline = ctx.cache.baseline(self.victim, prepending=prepending)
+        result = simulate_interception(
+            ctx.engine,
+            victim=self.victim,
+            attacker=self.attacker,
+            origin_padding=self.padding,
+            prepending=prepending,
+            baseline=baseline,
+        )
+        timing = detection_timing(
+            result,
+            ctx.collector,
+            ctx.detector,
+            min_confidence=self.min_confidence,
+            attacker_feeds_collector=self.attacker_feeds_collector,
+        )
+        return result, timing

@@ -1,0 +1,234 @@
+"""The baseline cache's derivation must be exact, not approximate.
+
+``derive_uniform_baseline`` claims that a uniform-λ baseline is the
+λ=1 baseline with the victim's trailing run rewritten — these tests pin
+that claim against cold engine runs on randomized topologies, then
+cover the cache's memoisation behaviour (hit/miss/derive accounting,
+LRU bounds, prefetch) and its error paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.decision import preference_key
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.exceptions import SimulationError
+from repro.runner import BaselineCache, derive_uniform_baseline, derive_uniform_family
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+CACHE_CONFIG = InternetTopologyConfig(
+    num_tier1=3,
+    num_tier2=6,
+    num_tier3=12,
+    num_tier4=10,
+    num_stubs=40,
+    num_content=2,
+    sibling_pairs=2,
+)
+
+
+def _world(seed: int):
+    return generate_internet_topology(CACHE_CONFIG, random.Random(seed))
+
+
+def _assert_same_outcome(derived, cold) -> None:
+    assert derived == cold  # prefix/origin/best/adj_rib_in/rounds/adoption
+    # best_keys is excluded from dataclass equality; check it explicitly
+    # against freshly recomputed preference keys.
+    assert derived.best_keys is not None
+    for asn, route in derived.best.items():
+        expected = None if route is None else preference_key(route)
+        assert derived.best_keys[asn] == expected, f"stale key at AS{asn}"
+
+
+@pytest.mark.parametrize("seed", (5, 23))
+def test_derived_baseline_equals_cold_propagation(seed):
+    world = _world(seed)
+    engine = PropagationEngine(world.graph)
+    rng = random.Random(seed)
+    victims = {world.tier1[0], rng.choice(world.transit_ases), rng.choice(world.stubs)}
+    for victim in victims:
+        canonical = engine.propagate(
+            victim, prepending=PrependingPolicy.uniform_origin(victim, 1)
+        )
+        for padding in range(1, 7):
+            cold = engine.propagate(
+                victim, prepending=PrependingPolicy.uniform_origin(victim, padding)
+            )
+            derived = derive_uniform_baseline(canonical, victim, padding)
+            _assert_same_outcome(derived, cold)
+
+
+def test_family_derivation_matches_per_lambda(small_world):
+    engine = PropagationEngine(small_world.graph)
+    victim = small_world.tier1[0]
+    canonical = engine.propagate(
+        victim, prepending=PrependingPolicy.uniform_origin(victim, 1)
+    )
+    paddings = range(1, 9)
+    family = derive_uniform_family(canonical, victim, paddings)
+    assert set(family) == set(paddings)
+    assert family[1] is canonical
+    for padding in paddings:
+        one = derive_uniform_baseline(canonical, victim, padding)
+        assert family[padding] == one
+        assert family[padding].best_keys == one.best_keys
+
+
+def test_cache_memoises_and_derives(small_world):
+    engine = PropagationEngine(small_world.graph)
+    cache = BaselineCache(engine)
+    victim = small_world.tier1[0]
+    paddings = list(range(1, 9))
+    for padding in paddings:
+        prepending = PrependingPolicy.uniform_origin(victim, padding)
+        cold = engine.propagate(victim, prepending=prepending)
+        warm = cache.baseline(victim, prepending=prepending)
+        _assert_same_outcome(warm, cold)
+    # One converged canonical + 7 derivations, no hits yet.
+    assert cache.misses == len(paddings)
+    assert cache.derived == len(paddings) - 1
+    assert cache.hits == 0
+    # A second sweep is pure cache hits returning identical objects.
+    for padding in paddings:
+        prepending = PrependingPolicy.uniform_origin(victim, padding)
+        again = cache.baseline(victim, prepending=prepending)
+        assert again is cache.baseline(victim, prepending=prepending)
+    assert cache.misses == len(paddings)
+
+
+def test_prefetch_uniform_warms_the_whole_family(small_world):
+    engine = PropagationEngine(small_world.graph)
+    cache = BaselineCache(engine)
+    victim = small_world.tier1[1]
+    cache.prefetch_uniform(victim, range(1, 9))
+    assert len(cache) == 8
+    hits_before = cache.hits
+    for padding in range(1, 9):
+        warm = cache.baseline(
+            victim, prepending=PrependingPolicy.uniform_origin(victim, padding)
+        )
+        cold = engine.propagate(
+            victim, prepending=PrependingPolicy.uniform_origin(victim, padding)
+        )
+        _assert_same_outcome(warm, cold)
+    assert cache.hits == hits_before + 8
+    # Prefetching again is a no-op.
+    derived_before = cache.derived
+    cache.prefetch_uniform(victim, range(1, 9))
+    assert cache.derived == derived_before
+
+
+def test_arbitrary_schedules_take_the_cold_path(small_world):
+    """Per-link schedules have no canonical family; the cache must fall
+    back to a direct convergence and still memoise the result."""
+    engine = PropagationEngine(small_world.graph)
+    cache = BaselineCache(engine)
+    victim = small_world.tier1[0]
+    neighbor = sorted(small_world.graph.neighbors_of(victim))[0]
+    schedule = PrependingPolicy.uniform_origin(victim, 2)
+    schedule.set_padding(victim, neighbor, 4)
+    assert schedule.uniform_origin_count(victim) is None
+    warm = cache.baseline(victim, prepending=schedule)
+    cold = engine.propagate(victim, prepending=schedule)
+    assert warm == cold
+    assert cache.derived == 0
+    assert cache.baseline(victim, prepending=schedule.copy()) is warm
+
+
+def test_lru_bound_is_respected(small_world):
+    engine = PropagationEngine(small_world.graph)
+    cache = BaselineCache(engine, max_entries=2)
+    victims = small_world.tier1[:3]
+    for victim in victims:
+        cache.baseline(victim)
+    assert len(cache) == 2
+    # The first victim was evicted: asking again is a fresh miss.
+    misses_before = cache.misses
+    cache.baseline(victims[0])
+    assert cache.misses == misses_before + 1
+
+
+def test_warm_started_attack_equals_cold_start(small_world):
+    engine = PropagationEngine(small_world.graph)
+    cache = BaselineCache(engine)
+    attacker, victim = small_world.tier1[0], small_world.tier1[1]
+    for padding in (1, 3, 5):
+        prepending = PrependingPolicy.uniform_origin(victim, padding)
+        cached = simulate_interception(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=padding,
+            prepending=prepending,
+            baseline=cache.baseline(victim, prepending=prepending),
+        )
+        cold = simulate_interception(
+            engine, victim=victim, attacker=attacker, origin_padding=padding
+        )
+        assert cached.baseline == cold.baseline
+        assert cached.attacked == cold.attacked
+        assert cached.report.before_fraction == cold.report.before_fraction
+        assert cached.report.after_fraction == cold.report.after_fraction
+
+
+# ----------------------------------------------------------------------
+# schedule fingerprints (the cache key)
+
+def test_fingerprint_canonicalises_equivalent_schedules():
+    empty = PrependingPolicy()
+    unity = PrependingPolicy.uniform_origin(9, 1)
+    assert unity.fingerprint() == empty.fingerprint()
+    uniform = PrependingPolicy.uniform_origin(9, 3)
+    restated = PrependingPolicy.uniform_origin(9, 3)
+    restated.set_padding(9, 4, 3)  # restates the uniform setting
+    assert restated.fingerprint() == uniform.fingerprint()
+    differs = PrependingPolicy.uniform_origin(9, 3)
+    differs.set_padding(9, 4, 5)
+    assert differs.fingerprint() != uniform.fingerprint()
+
+
+def test_uniform_origin_count_classification():
+    assert PrependingPolicy().uniform_origin_count(9) == 1
+    assert PrependingPolicy.uniform_origin(9, 4).uniform_origin_count(9) == 4
+    # Someone other than the origin pads: not a uniform-origin schedule.
+    assert PrependingPolicy.uniform_origin(8, 4).uniform_origin_count(9) is None
+    per_link = PrependingPolicy.from_pairs([(9, 4, 3)])
+    assert per_link.uniform_origin_count(9) is None
+
+
+# ----------------------------------------------------------------------
+# error paths
+
+def test_derivation_rejects_mismatched_victim(small_engine, small_world):
+    victim, other = small_world.tier1[0], small_world.tier1[1]
+    canonical = small_engine.propagate(victim)
+    with pytest.raises(SimulationError):
+        derive_uniform_baseline(canonical, other, 3)
+    with pytest.raises(SimulationError):
+        derive_uniform_family(canonical, other, [2, 3])
+    with pytest.raises(SimulationError):
+        derive_uniform_baseline(canonical, victim, 0)
+
+
+def test_cache_rejects_nonpositive_bound(small_engine):
+    with pytest.raises(SimulationError):
+        BaselineCache(small_engine, max_entries=0)
+
+
+def test_interception_rejects_foreign_baseline(small_engine, small_world):
+    victim, other = small_world.tier1[0], small_world.tier1[1]
+    baseline = small_engine.propagate(other)
+    with pytest.raises(SimulationError):
+        simulate_interception(
+            small_engine,
+            victim=victim,
+            attacker=small_world.tier1[2],
+            origin_padding=3,
+            baseline=baseline,
+        )

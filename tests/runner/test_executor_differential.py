@@ -1,0 +1,136 @@
+"""Serial vs parallel differential tests.
+
+The runner's contract is bit-identical output for every worker count.
+Single-CPU hosts clamp requested workers to 1, so the pool paths are
+exercised with ``force_processes=True`` — real worker processes, real
+pickling, even when the scheduler grants one core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.engine import PropagationEngine
+from repro.core import InterceptionStudy
+from repro.detection.monitors import top_degree_monitors
+from repro.exceptions import SimulationError
+from repro.experiments.sweeps import padding_sweep, pair_grid
+from repro.runner import (
+    BaselineCache,
+    CampaignPairTask,
+    SweepExecutor,
+    SweepPointTask,
+    WorkerContext,
+    WorkerSpec,
+    available_cpus,
+    resolve_workers,
+)
+
+PADDINGS = tuple(range(1, 9))
+
+
+def test_resolve_workers_semantics():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(0) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(4) == min(4, available_cpus())
+    assert resolve_workers(4, force=True) == 4
+    with pytest.raises(SimulationError):
+        resolve_workers(-1)
+
+
+def test_sweep_results_identical_for_any_worker_count(small_world):
+    victim, attacker = small_world.tier1[0], small_world.tier1[1]
+    spec = WorkerSpec(small_world.graph)
+    tasks = [
+        SweepPointTask(victim=victim, attacker=attacker, padding=p) for p in PADDINGS
+    ]
+    with SweepExecutor(spec, workers=1) as serial:
+        reference = serial.run(tasks)
+    for workers in (2, 4):
+        with SweepExecutor(spec, workers=workers, force_processes=True) as pool:
+            assert pool.run(tasks) == reference
+
+
+def test_campaign_tasks_identical_serial_vs_pool(small_world):
+    monitors = tuple(top_degree_monitors(small_world.graph, 25))
+    spec = WorkerSpec(small_world.graph, monitors=monitors)
+    tier1 = small_world.tier1
+    tasks = [
+        CampaignPairTask(attacker=tier1[0], victim=tier1[1], padding=3),
+        CampaignPairTask(attacker=tier1[1], victim=tier1[2], padding=3),
+        CampaignPairTask(attacker=tier1[2], victim=tier1[1], padding=2),
+        CampaignPairTask(attacker=tier1[0], victim=tier1[3], padding=4),
+    ]
+    context = WorkerContext(spec)
+    reference = [task.run(context) for task in tasks]
+    with SweepExecutor(spec, workers=2, force_processes=True) as pool:
+        parallel = pool.run(tasks)
+    for (res_a, tim_a), (res_b, tim_b) in zip(reference, parallel):
+        assert res_a.attacked == res_b.attacked
+        assert res_a.baseline == res_b.baseline
+        assert res_a.report.after_fraction == res_b.report.after_fraction
+        assert tim_a == tim_b
+
+
+def test_padding_sweep_api_identical_across_worker_requests(small_world):
+    engine = PropagationEngine(small_world.graph)
+    victim, attacker = small_world.tier1[1], small_world.tier1[0]
+    reference = padding_sweep(
+        engine, victim=victim, attacker=attacker, paddings=PADDINGS
+    )
+    for workers in (1, 2, 4):
+        rows = padding_sweep(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            paddings=PADDINGS,
+            workers=workers,
+        )
+        assert rows == reference
+
+
+def test_pair_grid_preserves_pair_order(small_world):
+    engine = PropagationEngine(small_world.graph)
+    tier1 = small_world.tier1
+    pairs = [(tier1[0], tier1[1]), (tier1[2], tier1[3]), (tier1[1], tier1[0])]
+    points = pair_grid(engine, pairs, origin_padding=3)
+    assert [(p.attacker, p.victim) for p in points] == pairs
+    assert all(p.padding == 3 for p in points)
+
+
+def test_campaign_facade_identical_across_worker_requests():
+    study = InterceptionStudy.generate(seed=11, scale=0.15, monitors=20)
+    reference = study.campaign(pairs=5, padding=3)
+    for workers in (1, 2):
+        campaign = study.campaign(pairs=5, padding=3, workers=workers)
+        assert campaign.mean_pollution == reference.mean_pollution
+        assert campaign.detection_rate == reference.detection_rate
+        assert campaign.results == reference.results
+        assert campaign.timings == reference.timings
+
+
+def test_executor_reuse_and_empty_batches(small_world):
+    victim, attacker = small_world.tier1[0], small_world.tier1[1]
+    spec = WorkerSpec(small_world.graph)
+    with SweepExecutor(spec, workers=1) as executor:
+        assert executor.run([]) == []
+        first = executor.run([SweepPointTask(victim=victim, attacker=attacker, padding=2)])
+        # The second batch reuses the warm context: the baseline for
+        # λ=3 derives from the canonical run the first batch converged.
+        cache = executor.context.cache
+        misses_before = cache.misses
+        second = executor.run([SweepPointTask(victim=victim, attacker=attacker, padding=3)])
+        assert cache.misses == misses_before + 1
+        assert cache.derived >= 1
+    assert first[0].padding == 2 and second[0].padding == 3
+
+
+def test_worker_context_guards(small_world):
+    spec = WorkerSpec(small_world.graph)  # no monitor fleet
+    context = WorkerContext(spec)
+    with pytest.raises(SimulationError):
+        context.collector
+    foreign_cache = BaselineCache(PropagationEngine(small_world.graph))
+    with pytest.raises(SimulationError):
+        WorkerContext(spec, cache=foreign_cache)
