@@ -50,6 +50,7 @@ from repro.bgp.policy import ExportPolicy
 from repro.bgp.prepending import PrependingPolicy
 from repro.bgp.route import DEFAULT_PREFIX, Route
 from repro.exceptions import ConvergenceError, SimulationError, UnknownASError
+from repro.telemetry.metrics import RunMetrics
 from repro.topology.asgraph import ASGraph
 from repro.topology.relationships import PrefClass, Relationship
 
@@ -133,14 +134,28 @@ class PropagationEngine:
     prepending schedules, attackers) against the same topology.
     """
 
-    def __init__(self, graph: ASGraph, *, max_activations: int = 50) -> None:
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        max_activations: int = 50,
+        metrics: RunMetrics | None = None,
+    ) -> None:
         """``max_activations`` bounds the worklist to that many
         activations *per AS* before :class:`ConvergenceError` is raised
-        (valley-free configurations converge in a handful)."""
+        (valley-free configurations converge in a handful).
+
+        ``metrics`` optionally attaches a telemetry registry; every
+        :meth:`propagate` call then reports its work counts
+        (``engine.*`` namespace).  The attribute is public and mutable
+        so an existing engine can be instrumented for one run and
+        detached afterwards; metrics never influence routing results.
+        """
         if max_activations < 1:
             raise SimulationError("max_activations must be positive")
         self._graph = graph
         self._max_activations = max_activations
+        self.metrics = metrics
         # Pre-compiled adjacency: for each AS, a tuple of entries
         # (neighbor, role-of-neighbor-relative-to-AS,
         #  pref-of-routes-from-neighbor, pref-the-neighbor-assigns,
@@ -288,6 +303,16 @@ class PropagationEngine:
         violators = export_policy.violators
         pad_senders = prepending.senders()
 
+        # Telemetry is accumulated in locals and flushed once at the
+        # end, so an enabled registry costs one branch per activation
+        # (plus a few per rib change) and a disabled one costs nothing
+        # but this single check.
+        metrics = self.metrics
+        track = metrics is not None and metrics.enabled
+        if track:
+            announcements = fastpath_hits = fastpath_misses = best_changes = 0
+            peak_queue = 0
+
         # Round stamp of the news each AS would currently announce.
         round_of: dict[int, int] = {asn: 0 for asn in initial}
         queue: deque[int] = deque(initial)
@@ -310,6 +335,11 @@ class PropagationEngine:
             queued.discard(sender)
             route = best[sender]
             sender_round = round_of.get(sender, 0)
+            if track:
+                qlen = len(queue) + 1  # including the activation just popped
+                if qlen > peak_queue:
+                    peak_queue = qlen
+                announcements += len(self._adjacency[sender])
             if route is not None:
                 base = route.path
                 modifier = modifiers.get(sender)
@@ -363,34 +393,52 @@ class PropagationEngine:
                 current = best[neighbor]
                 import_filter = import_filters.get(neighbor)
                 if import_filter is not None or not incremental:
+                    if track:
+                        fastpath_misses += 1
                     new_best, new_key = self._decide(neighbor, prefix, rib, import_filter)
                 elif offer is None:
                     if current is not None and current.learned_from == sender:
                         # The best offer was withdrawn: full re-decision.
+                        if track:
+                            fastpath_misses += 1
                         new_best, new_key = self._decide(neighbor, prefix, rib, None)
                     else:
+                        if track:
+                            fastpath_hits += 1
                         continue  # losing a non-best offer changes nothing
                 else:
                     path, pref = offer
                     cand_key = (int(pref), len(path), sender)
                     current_key = best_key[neighbor]
                     if current is None:
+                        if track:
+                            fastpath_hits += 1
                         new_best, new_key = Route(prefix, path, sender, pref), cand_key
                     elif current.learned_from == sender:
                         if cand_key <= current_key:
                             # The best offer improved (or kept its rank):
                             # it stays the best — keys of other offers are
                             # strictly worse than the old minimum.
+                            if track:
+                                fastpath_hits += 1
                             new_best, new_key = Route(prefix, path, sender, pref), cand_key
                         else:
+                            if track:
+                                fastpath_misses += 1
                             new_best, new_key = self._decide(neighbor, prefix, rib, None)
                     elif cand_key < current_key:
+                        if track:
+                            fastpath_hits += 1
                         new_best, new_key = Route(prefix, path, sender, pref), cand_key
                     else:
+                        if track:
+                            fastpath_hits += 1
                         continue  # a worse-ranked offer cannot displace the best
                 if new_best == current:
                     best_key[neighbor] = new_key
                     continue
+                if track:
+                    best_changes += 1
                 best[neighbor] = new_best
                 best_key[neighbor] = new_key
                 stamp = sender_round + 1
@@ -400,6 +448,23 @@ class PropagationEngine:
                 if neighbor not in queued:
                     queue.append(neighbor)
                     queued.add(neighbor)
+
+        if track:
+            # Warm-started propagations (the attack runs — one per task,
+            # starting from a bit-identical baseline) are worker-count
+            # invariant; cold propagations (baseline convergences) depend
+            # on per-worker cache locality, so the two are recorded under
+            # separate namespaces and only ``engine.warm.*`` participates
+            # in serial-vs-pooled determinism comparisons.
+            ns = "engine.warm" if warm_start is not None else "engine.cold"
+            metrics.count(f"{ns}.propagations")
+            metrics.count(f"{ns}.activations", operations)
+            metrics.count(f"{ns}.announcements", announcements)
+            metrics.count(f"{ns}.fastpath_hits", fastpath_hits)
+            metrics.count(f"{ns}.fastpath_misses", fastpath_misses)
+            metrics.count(f"{ns}.best_changes", best_changes)
+            metrics.observe(f"{ns}.convergence_rounds", max_round)
+            metrics.observe(f"{ns}.queue_peak", peak_queue)
 
         return PropagationOutcome(
             prefix=prefix,

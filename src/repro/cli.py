@@ -16,16 +16,25 @@ runs every experiment in registry order.  ``world`` generates a
 topology, prints its summary and optionally writes it in CAIDA
 serial-1 format.  ``campaign`` runs a quick attack/detection campaign
 through the :class:`~repro.core.InterceptionStudy` façade.
+
+``run``, ``all`` and ``campaign`` accept ``--metrics
+{off,summary,jsonl}`` (default ``off``): ``summary`` prints the run's
+telemetry as an aligned table after the results, ``jsonl`` emits the
+JSONL event log — to stdout, or to ``--metrics-out PATH`` (which
+requires ``--metrics jsonl``).  Metrics never change the results: the
+artefact text is bit-identical with metrics on or off.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
 import sys
 from collections.abc import Sequence
 
 from repro.experiments import REGISTRY
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["main"]
 
@@ -46,13 +55,56 @@ def _apply_overrides(config, overrides: dict[str, object]):
     return dataclasses.replace(config, **applicable) if applicable else config
 
 
-def _run_one(experiment_id: str, overrides: dict[str, object]) -> int:
+def _run_one(
+    experiment_id: str,
+    overrides: dict[str, object],
+    metrics: RunMetrics | None = None,
+) -> int:
     config_factory, runner = REGISTRY[experiment_id]
     config = _apply_overrides(config_factory(), overrides)
-    result = runner(config)
+    if metrics is not None and "metrics" in inspect.signature(runner).parameters:
+        result = runner(config, metrics=metrics)
+    else:
+        result = runner(config)
     print(result.to_text())
     print()
     return 0
+
+
+def _add_metrics_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--metrics", choices=("off", "summary", "jsonl"), default="off",
+        help="record run telemetry: 'summary' prints a table, 'jsonl' "
+        "emits the event log (results are unaffected)",
+    )
+    subparser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the JSONL event log to PATH (requires --metrics jsonl)",
+    )
+
+
+def _make_metrics(args, parser: argparse.ArgumentParser) -> RunMetrics | None:
+    """Validate the metrics flags and build the registry (or ``None``)."""
+    mode = getattr(args, "metrics", "off")
+    out = getattr(args, "metrics_out", None)
+    if out is not None and mode != "jsonl":
+        parser.error("--metrics-out requires --metrics jsonl")
+    return RunMetrics() if mode != "off" else None
+
+
+def _emit_metrics(args, metrics: RunMetrics | None) -> None:
+    if metrics is None:
+        return
+    if args.metrics == "summary":
+        print(metrics.summary_table())
+        return
+    from repro.telemetry.report import to_jsonl, write_jsonl
+
+    if args.metrics_out:
+        write_jsonl(metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    else:
+        print(to_jsonl(metrics))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -79,6 +131,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="worker processes for experiments with parallel sweeps "
         "(results are identical for any worker count)",
     )
+    _add_metrics_flags(run_parser)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=None)
@@ -87,6 +140,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="worker processes for experiments with parallel sweeps",
     )
+    _add_metrics_flags(all_parser)
 
     world_parser = subparsers.add_parser(
         "world", help="generate a topology and print its summary"
@@ -113,6 +167,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="worker processes for the campaign's attack instances",
     )
+    _add_metrics_flags(campaign_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -122,16 +177,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "world":
         return _world(args)
     if args.command == "campaign":
-        return _campaign(args)
+        return _campaign(args, _make_metrics(args, parser))
     overrides = {
         name: getattr(args, name, None)
         for name in ("seed", "scale", "pairs", "instances", "workers")
     }
+    metrics = _make_metrics(args, parser)
     if args.command == "run":
-        return _run_one(args.experiment, overrides)
+        status = _run_one(args.experiment, overrides, metrics)
+        _emit_metrics(args, metrics)
+        return status
+    # ``all`` records every experiment into one registry and emits the
+    # merged telemetry once at the end.
     status = 0
     for experiment_id in REGISTRY:
-        status |= _run_one(experiment_id, overrides)
+        status |= _run_one(experiment_id, overrides, metrics)
+    _emit_metrics(args, metrics)
     return status
 
 
@@ -159,7 +220,7 @@ def _world(args) -> int:
     return 0
 
 
-def _campaign(args) -> int:
+def _campaign(args, metrics: RunMetrics | None = None) -> int:
     from repro.core import InterceptionStudy
 
     study = InterceptionStudy.generate(
@@ -169,7 +230,10 @@ def _campaign(args) -> int:
         placement=args.placement,
     )
     campaign = study.campaign(
-        pairs=args.pairs, padding=args.padding, workers=args.workers
+        pairs=args.pairs,
+        padding=args.padding,
+        workers=args.workers,
+        metrics=metrics,
     )
     effective = campaign.effective
     print(
@@ -179,6 +243,7 @@ def _campaign(args) -> int:
     print(f"  effective attacks:   {len(effective)}/{args.pairs}")
     print(f"  mean pollution:      {campaign.mean_pollution:.1%}")
     print(f"  detection rate:      {campaign.detection_rate:.1%}")
+    _emit_metrics(args, metrics)
     return 0
 
 

@@ -39,9 +39,11 @@ from repro.runner import (
     SweepExecutor,
     WorkerContext,
     WorkerSpec,
+    execute_task,
     resolve_workers,
     sample_attack_pairs,
 )
+from repro.telemetry.metrics import RunMetrics
 from repro.topology.generators import (
     GeneratedTopology,
     InternetTopologyConfig,
@@ -58,6 +60,8 @@ class AttackCampaign:
 
     results: list[InterceptionResult] = field(default_factory=list)
     timings: list[DetectionTiming] = field(default_factory=list)
+    #: telemetry registry the campaign recorded into, when one was passed
+    metrics: RunMetrics | None = None
 
     @property
     def effective(self) -> list[InterceptionResult]:
@@ -186,6 +190,7 @@ class InterceptionStudy:
         *,
         min_confidence: Confidence = Confidence.LOW,
         attacker_feeds_collector: bool = True,
+        metrics: RunMetrics | None = None,
     ) -> DetectionTiming:
         """Run the Figure-4 detector over the study's monitor fleet."""
         return detection_timing(
@@ -194,6 +199,7 @@ class InterceptionStudy:
             self._detector,
             min_confidence=min_confidence,
             attacker_feeds_collector=attacker_feeds_collector,
+            metrics=metrics,
         )
 
     def defend_reactively(
@@ -230,6 +236,7 @@ class InterceptionStudy:
         victim_pool: list[int] | None = None,
         rng: random.Random | None = None,
         workers: int | None = None,
+        metrics: RunMetrics | None = None,
     ) -> AttackCampaign:
         """Run many random attack instances and detect each one.
 
@@ -240,6 +247,12 @@ class InterceptionStudy:
         executed as independent tasks: serially in-process, or fanned
         out over ``workers`` processes.  The campaign's results are
         bit-identical for every worker count.
+
+        ``metrics`` optionally records engine, cache, worker and
+        detection telemetry into a :class:`RunMetrics` registry.
+        Deterministic counters and histograms aggregate to the same
+        values for every worker count (timers and the per-worker load
+        split in the ``info`` section legitimately differ).
         """
         if pairs < 1:
             raise ExperimentError("a campaign needs at least one pair")
@@ -251,18 +264,26 @@ class InterceptionStudy:
             CampaignPairTask(attacker=attacker, victim=victim, padding=padding)
             for attacker, victim in sampled
         ]
+        enabled = metrics is not None and metrics.enabled
         spec = WorkerSpec(
             self._world.graph,
             monitors=self._monitors,
             max_activations=self._engine.max_activations,
+            metrics_enabled=enabled,
         )
         if resolve_workers(workers) == 1:
-            context = WorkerContext(spec, engine=self._engine)
-            outcomes = [task.run(context) for task in tasks]
+            prev_engine_metrics = self._engine.metrics
+            context = WorkerContext(spec, engine=self._engine, metrics=metrics)
+            try:
+                outcomes = [execute_task(task, context) for task in tasks]
+            finally:
+                self._engine.metrics = prev_engine_metrics
         else:
-            with SweepExecutor(spec, workers=workers) as executor:
+            with SweepExecutor(
+                spec, workers=workers, metrics=metrics if enabled else None
+            ) as executor:
                 outcomes = executor.run(tasks)
-        campaign = AttackCampaign()
+        campaign = AttackCampaign(metrics=metrics)
         for result, timing in outcomes:
             campaign.results.append(result)
             campaign.timings.append(timing)

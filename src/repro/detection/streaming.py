@@ -26,13 +26,21 @@ from repro.bgp.route import Route
 from repro.bgp.updates import UpdateMessage
 from repro.detection.alarms import Alarm
 from repro.detection.detector import ASPPInterceptionDetector
+from repro.telemetry.metrics import RunMetrics, timed
 from repro.topology.relationships import PrefClass
 
 __all__ = ["StreamingDetector", "attack_update_stream"]
 
-#: Collector feeds carry no local-preference information; the class is
-#: irrelevant to the padding-inconsistency check, so reconstructed
-#: routes default to the most conservative tier.
+#: Collector feeds carry no local-preference attribute, so the class of
+#: a reconstructed route must be inferred.  The class is irrelevant to
+#: the padding-inconsistency check itself (the Figure-4 algorithm reads
+#: only AS-PATHs), but it *is* part of route identity: duplicate
+#: suppression compares full routes, so a wrongly defaulted class makes
+#: a re-announced route look like a change.  The detector therefore
+#: remembers the last class observed per (prefix, monitor, neighbour) —
+#: a neighbour's class is fixed by the business relationship, so it
+#: survives withdraw/re-announce flaps — and only falls back to the
+#: most conservative tier for neighbours it has never seen.
 _DEFAULT_PREF = PrefClass.PROVIDER
 
 
@@ -42,17 +50,36 @@ class StreamingDetector:
     ``prime`` the detector with a baseline view first (real deployments
     bootstrap from a table dump), then feed updates; each call returns
     the alarms that update triggered.
+
+    ``metrics`` optionally attaches a telemetry registry recording
+    updates consumed, alarms raised and the number of updates until the
+    first alarm (``detection.*`` namespace).
     """
 
-    def __init__(self, detector: ASPPInterceptionDetector) -> None:
+    def __init__(
+        self,
+        detector: ASPPInterceptionDetector,
+        *,
+        metrics: RunMetrics | None = None,
+    ) -> None:
         self._detector = detector
         #: prefix -> monitor -> current route
         self._tables: dict[str, dict[int, Route | None]] = {}
+        #: prefix -> monitor -> neighbour -> last class observed for
+        #: routes learned from that neighbour (survives withdrawals).
+        self._classes: dict[str, dict[int, dict[int, PrefClass]]] = {}
+        self.metrics = metrics
+        self._updates_seen = 0
+        self._first_alarm_recorded = False
 
     def prime(self, view: MonitorView) -> None:
         """Install a baseline snapshot (no alarms are raised)."""
         table = self._tables.setdefault(view.prefix, {})
         table.update(view.routes)
+        classes = self._classes.setdefault(view.prefix, {})
+        for monitor, route in view.routes.items():
+            if route is not None and route.learned_from is not None:
+                classes.setdefault(monitor, {})[route.learned_from] = route.pref
 
     def current_view(self, prefix: str) -> MonitorView:
         """The detector's present belief about ``prefix``."""
@@ -60,16 +87,27 @@ class StreamingDetector:
 
     def consume(self, message: UpdateMessage) -> list[Alarm]:
         """Apply one update and return any alarms it triggers."""
+        metrics = self.metrics
+        track = metrics is not None and metrics.enabled
+        if track:
+            self._updates_seen += 1
+            metrics.count("detection.updates_consumed")
         table = self._tables.setdefault(message.prefix, {})
         previous = table.get(message.monitor)
+        classes = self._classes.setdefault(message.prefix, {}).setdefault(
+            message.monitor, {}
+        )
         if message.withdrawn:
             new_route: Route | None = None
         else:
             learned = message.path[0] if message.path else None
-            # Reuse the previous route's class when the neighbour is
-            # unchanged; otherwise fall back to the conservative default.
-            if previous is not None and previous.learned_from == learned:
-                pref = previous.pref
+            # The class a neighbour's routes carry is pinned by the
+            # monitor-neighbour relationship: reuse the remembered one
+            # (even across a withdraw/re-announce flap) and only default
+            # for never-seen neighbours.
+            if learned is not None:
+                pref = classes.get(learned, _DEFAULT_PREF)
+                classes[learned] = pref
             else:
                 pref = _DEFAULT_PREF
             new_route = Route(message.prefix, message.path, learned, pref)
@@ -77,10 +115,19 @@ class StreamingDetector:
             return []
         table[message.monitor] = new_route
         view = self.current_view(message.prefix)
-        return self._detector.inspect_change(
+        alarms = self._detector.inspect_change(
             message.monitor, previous, new_route, view
         )
+        if track and alarms:
+            metrics.count("detection.alarms", len(alarms))
+            if not self._first_alarm_recorded:
+                self._first_alarm_recorded = True
+                metrics.observe(
+                    "detection.updates_to_first_alarm", self._updates_seen
+                )
+        return alarms
 
+    @timed("detection.consume_seconds")
     def consume_all(self, messages: list[UpdateMessage]) -> list[Alarm]:
         """Feed a whole stream; returns the concatenated alarms."""
         alarms: list[Alarm] = []

@@ -18,6 +18,7 @@ from repro.attack.interception import InterceptionResult
 from repro.bgp.collectors import RouteCollector
 from repro.detection.alarms import Alarm, Confidence
 from repro.detection.detector import ASPPInterceptionDetector
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["DetectionTiming", "detection_timing"]
 
@@ -56,6 +57,7 @@ def detection_timing(
     *,
     min_confidence: Confidence = Confidence.LOW,
     attacker_feeds_collector: bool = True,
+    metrics: RunMetrics | None = None,
 ) -> DetectionTiming:
     """Run the detector against an attack instance and time the detection.
 
@@ -70,6 +72,11 @@ def detection_timing(
     and suppresses its collector session (its feed then shows the
     unchanged legitimate route, and detection must wait for pollution
     to reach an honest monitor).
+
+    ``metrics`` optionally records the analysis into a telemetry
+    registry (``detection.*`` namespace): timings run, attacks
+    detected, alarms raised, detection rounds and the
+    polluted-before-detection fraction.
     """
     before_view = collector.snapshot(result.baseline)
     modifiers = (
@@ -112,7 +119,7 @@ def detection_timing(
     population = [
         asn for asn in result.attacked.best if asn not in (attacker, victim)
     ]
-    return DetectionTiming(
+    timing = DetectionTiming(
         detected=detection_round is not None,
         detection_round=detection_round,
         polluted_before_detection=polluted_before,
@@ -120,3 +127,14 @@ def detection_timing(
         num_ases=len(population),
         alarms=tuple(alarms),
     )
+    if metrics is not None and metrics.enabled:
+        metrics.count("detection.timings")
+        metrics.count("detection.alarms", len(alarms))
+        if timing.detected:
+            metrics.count("detection.detected")
+            metrics.observe("detection.detection_round", detection_round)
+        metrics.observe(
+            "detection.polluted_before_fraction",
+            timing.fraction_polluted_before_detection,
+        )
+    return timing

@@ -13,13 +13,16 @@ figure regenerates bit-for-bit.
 
 from __future__ import annotations
 
+import functools
 import random
 from collections.abc import Iterable
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import ExperimentError
 from repro.runner.sampling import sample_attack_pairs as sample_pairs
+from repro.telemetry.metrics import RunMetrics
 from repro.topology.generators import (
     GeneratedTopology,
     InternetTopologyConfig,
@@ -33,8 +36,42 @@ __all__ = [
     "ExperimentResult",
     "ExperimentWorld",
     "build_world",
+    "experiment_timer",
+    "instrumented",
     "provider_ancestors",
 ]
+
+
+def instrumented(experiment_id: str):
+    """Decorator for experiment ``run(config, *, metrics=None)`` entry
+    points: times the whole run into ``metrics``
+    (``experiment.<id>_seconds``) and attaches the registry to the
+    returned artefact.  The wrapped function still receives ``metrics``
+    so it can thread the registry into its engines and sweeps.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            metrics = kwargs.get("metrics")
+            with experiment_timer(metrics, experiment_id):
+                result = fn(*args, **kwargs)
+            result.metrics = metrics
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+def experiment_timer(
+    metrics: RunMetrics | None, experiment_id: str
+) -> AbstractContextManager:
+    """Context manager timing one experiment run into ``metrics``
+    (``experiment.<id>_seconds``); a no-op when metrics are off."""
+    if metrics is None or not metrics.enabled:
+        return nullcontext()
+    return metrics.time(f"experiment.{experiment_id}_seconds")
 
 
 @dataclass
@@ -50,6 +87,17 @@ class ExperimentResult:
     #: named scalar findings (the numbers quoted in the paper's prose)
     summary: dict[str, float] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: telemetry registry attached by ``run(config, metrics=...)``;
+    #: deliberately excluded from :meth:`to_text` so artefact text is
+    #: bit-identical with metrics on or off.
+    metrics: RunMetrics | None = None
+
+    def metrics_text(self) -> str:
+        """The attached telemetry rendered as a summary table (empty
+        string when the run was not instrumented)."""
+        if self.metrics is None or not self.metrics:
+            return ""
+        return self.metrics.summary_table()
 
     def to_text(self) -> str:
         """Render the result the way the benchmark harness prints it."""
@@ -88,12 +136,14 @@ def build_world(
     seed: int = 7,
     scale: float = 1.0,
     config: InternetTopologyConfig | None = None,
+    metrics: RunMetrics | None = None,
 ) -> ExperimentWorld:
     """Build the experiment substrate (topology + engine).
 
     ``scale`` multiplies the default population counts — benchmarks run
     at 1.0, unit tests at ~0.2.  Passing an explicit ``config`` ignores
-    ``scale``.
+    ``scale``.  ``metrics`` attaches a telemetry registry to the world's
+    engine so every propagation it runs is instrumented.
     """
     rng = make_rng(seed)
     topo_rng = derive_rng(rng, "topology")
@@ -101,7 +151,7 @@ def build_world(
     topology = generate_internet_topology(cfg, topo_rng)
     return ExperimentWorld(
         topology=topology,
-        engine=PropagationEngine(topology.graph),
+        engine=PropagationEngine(topology.graph, metrics=metrics),
         seed=seed,
         scale=scale,
     )

@@ -23,7 +23,8 @@ from repro.casestudy.facebook import (
     replay_all_prefixes,
     replay_facebook_anomaly,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, instrumented
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["Fig01Config", "run"]
 
@@ -33,7 +34,10 @@ class Fig01Config:
     prefix: str = "69.171.224.0/20"
 
 
-def run(config: Fig01Config = Fig01Config()) -> ExperimentResult:
+@instrumented("fig01")
+def run(
+    config: Fig01Config = Fig01Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 1: per-AS routes before/after the anomaly."""
     replay = replay_facebook_anomaly(config.prefix)
     rows = [tuple(row) for row in replay.route_change_rows()]

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 
 from repro.bgp.aspath import has_prepending
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, instrumented
+from repro.telemetry.metrics import RunMetrics
 from repro.experiments.measurement_world import build_measurement_world
 from repro.measurement.characterize import prepended_fraction_per_monitor
 from repro.utils.cdf import EmpiricalCDF
@@ -53,7 +54,10 @@ def _update_fractions(updates) -> dict[int, float]:
     }
 
 
-def run(config: Fig05Config = Fig05Config()) -> ExperimentResult:
+@instrumented("fig05")
+def run(
+    config: Fig05Config = Fig05Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 5's three CDF series."""
     data = build_measurement_world(
         seed=config.seed,

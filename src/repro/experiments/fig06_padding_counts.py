@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import MeasurementError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, instrumented
+from repro.telemetry.metrics import RunMetrics
 from repro.experiments.measurement_world import build_measurement_world
 from repro.measurement.characterize import padding_count_distribution, update_paths
 
@@ -29,7 +30,10 @@ class Fig06Config:
     churn_events: int = 2
 
 
-def run(config: Fig06Config = Fig06Config()) -> ExperimentResult:
+@instrumented("fig06")
+def run(
+    config: Fig06Config = Fig06Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 6's two padding-count distributions."""
     data = build_measurement_world(
         seed=config.seed,

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult, build_world
+from repro.experiments.base import ExperimentResult, build_world, instrumented
 from repro.experiments.sweeps import pair_grid
+from repro.telemetry.metrics import RunMetrics
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig07Config", "run"]
@@ -29,9 +30,12 @@ class Fig07Config:
     workers: int | None = None
 
 
-def run(config: Fig07Config = Fig07Config()) -> ExperimentResult:
+@instrumented("fig07")
+def run(
+    config: Fig07Config = Fig07Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 7: ranked pollution over Tier-1 pairs."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     tier1 = world.topology.tier1
     if len(tier1) < 2:
         raise ExperimentError("need at least two Tier-1 ASes")
@@ -47,6 +51,7 @@ def run(config: Fig07Config = Fig07Config()) -> ExperimentResult:
             pairs,
             origin_padding=config.origin_padding,
             workers=config.workers,
+            metrics=metrics,
         )
     ]
     # The paper ranks instances by pollution range (descending).

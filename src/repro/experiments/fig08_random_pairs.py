@@ -11,8 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.base import ExperimentResult, build_world, sample_attack_pairs
+from repro.experiments.base import (
+    ExperimentResult,
+    build_world,
+    instrumented,
+    sample_attack_pairs,
+)
 from repro.experiments.sweeps import pair_grid
+from repro.telemetry.metrics import RunMetrics
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig08Config", "run"]
@@ -28,9 +34,12 @@ class Fig08Config:
     workers: int | None = None
 
 
-def run(config: Fig08Config = Fig08Config()) -> ExperimentResult:
+@instrumented("fig08")
+def run(
+    config: Fig08Config = Fig08Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 8: ranked pollution over random pairs."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     rng = derive_rng(make_rng(config.seed), "fig08-pairs")
     pairs = sample_attack_pairs(world, config.instances, rng)
 
@@ -41,6 +50,7 @@ def run(config: Fig08Config = Fig08Config()) -> ExperimentResult:
             pairs,
             origin_padding=config.origin_padding,
             workers=config.workers,
+            metrics=metrics,
         )
     ]
     results.sort(key=lambda item: -item[3])

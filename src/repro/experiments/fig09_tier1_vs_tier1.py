@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult, build_world
+from repro.experiments.base import ExperimentResult, build_world, instrumented
 from repro.experiments.sweeps import padding_sweep
+from repro.telemetry.metrics import RunMetrics
 from repro.topology.tiers import customer_cone
 
 __all__ = ["Fig09Config", "run"]
@@ -34,9 +35,12 @@ class Fig09Config:
     workers: int | None = None
 
 
-def run(config: Fig09Config = Fig09Config()) -> ExperimentResult:
+@instrumented("fig09")
+def run(
+    config: Fig09Config = Fig09Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 9's λ sweep for two top Tier-1 ASes."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     graph = world.graph
     tier1 = world.topology.tier1
     if len(tier1) < 2:
@@ -50,6 +54,7 @@ def run(config: Fig09Config = Fig09Config()) -> ExperimentResult:
         attacker=attacker,
         paddings=range(1, config.max_padding + 1),
         workers=config.workers,
+        metrics=metrics,
     )
     cone_pct = 100 * len(customer_cone(graph, attacker)) / len(graph)
     after = {padding: after_pct for padding, _, after_pct in rows}

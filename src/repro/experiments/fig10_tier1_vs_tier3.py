@@ -23,8 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult, build_world, provider_ancestors
+from repro.experiments.base import (
+    ExperimentResult,
+    build_world,
+    instrumented,
+    provider_ancestors,
+)
 from repro.experiments.sweeps import padding_sweep
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["Fig10Config", "run"]
 
@@ -56,9 +62,12 @@ def _choose_pair(world) -> tuple[int, int]:
     return attacker, victim
 
 
-def run(config: Fig10Config = Fig10Config()) -> ExperimentResult:
+@instrumented("fig10")
+def run(
+    config: Fig10Config = Fig10Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 10's λ sweep: Tier-1 attacker, Tier-3 victim."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     attacker, victim = _choose_pair(world)
     rows = padding_sweep(
         world.engine,
@@ -66,6 +75,7 @@ def run(config: Fig10Config = Fig10Config()) -> ExperimentResult:
         attacker=attacker,
         paddings=range(1, config.max_padding + 1),
         workers=config.workers,
+        metrics=metrics,
     )
     after = {padding: after_pct for padding, _, after_pct in rows}
     summary = {

@@ -29,8 +29,9 @@ from dataclasses import dataclass
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import ExperimentError
 from repro.runner import BaselineCache
-from repro.experiments.base import ExperimentResult, build_world
+from repro.experiments.base import ExperimentResult, build_world, instrumented
 from repro.experiments.sweeps import padding_sweep
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["Fig11Config", "run"]
 
@@ -68,9 +69,12 @@ def _choose_actors(world) -> tuple[int, int, int]:
     return attacker, victim, helper
 
 
-def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
+@instrumented("fig11")
+def run(
+    config: Fig11Config = Fig11Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 11's series."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     attacker, victim, helper = _choose_actors(world)
     paddings = range(1, config.max_padding + 1)
 
@@ -78,7 +82,7 @@ def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
     chained_graph = world.graph.copy()
     chained_graph.add_p2c(attacker, helper)
     chained_graph.add_s2s(helper, victim)
-    chained_engine = PropagationEngine(chained_graph)
+    chained_engine = PropagationEngine(chained_graph, metrics=metrics)
 
     # The two chained series attack from identical pre-attack baselines,
     # so they share one cache; the plain engine needs its own.
@@ -89,6 +93,7 @@ def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
         attacker=attacker,
         paddings=paddings,
         workers=config.workers,
+        metrics=metrics,
     )
     with_chain = padding_sweep(
         chained_engine,
@@ -97,6 +102,7 @@ def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
         paddings=paddings,
         workers=config.workers,
         cache=chained_cache,
+        metrics=metrics,
     )
     violating = padding_sweep(
         chained_engine,
@@ -106,6 +112,7 @@ def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
         violate_policy=True,
         workers=config.workers,
         cache=chained_cache,
+        metrics=metrics,
     )
     rows = [
         (padding, round(plain_after, 1), round(chain_after, 1), round(violate_after, 1))

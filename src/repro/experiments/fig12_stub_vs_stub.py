@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult, build_world
+from repro.experiments.base import ExperimentResult, build_world, instrumented
 from repro.experiments.sweeps import padding_sweep
 from repro.runner import BaselineCache
+from repro.telemetry.metrics import RunMetrics
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig12Config", "run"]
@@ -29,9 +30,12 @@ class Fig12Config:
     workers: int | None = None
 
 
-def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
+@instrumented("fig12")
+def run(
+    config: Fig12Config = Fig12Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 12's two series for a small attacker/victim pair."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     graph = world.graph
     rng = derive_rng(make_rng(config.seed), "fig12-pair")
     # The attacker must be multi-homed: the paper's violating attacker
@@ -57,6 +61,7 @@ def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
         paddings=range(1, config.max_padding + 1),
         workers=config.workers,
         cache=cache,
+        metrics=metrics,
     )
     violating = padding_sweep(
         world.engine,
@@ -66,6 +71,7 @@ def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
         violate_policy=True,
         workers=config.workers,
         cache=cache,
+        metrics=metrics,
     )
     rows = [
         (padding, round(vf_after, 1), round(vi_after, 1))

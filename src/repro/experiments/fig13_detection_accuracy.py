@@ -30,7 +30,13 @@ from repro.detection.monitors import top_degree_monitors
 from repro.detection.streaming import StreamingDetector, attack_update_stream
 from repro.detection.timing import detection_timing
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult, build_world, sample_attack_pairs
+from repro.experiments.base import (
+    ExperimentResult,
+    build_world,
+    instrumented,
+    sample_attack_pairs,
+)
+from repro.telemetry.metrics import RunMetrics
 from repro.utils.rand import derive_rng, make_rng
 
 __all__ = ["Fig13Config", "run"]
@@ -45,9 +51,12 @@ class Fig13Config:
     monitor_counts: tuple[int, ...] = (10, 30, 50, 70, 100, 150, 200, 250, 300, 400)
 
 
-def run(config: Fig13Config = Fig13Config()) -> ExperimentResult:
+@instrumented("fig13")
+def run(
+    config: Fig13Config = Fig13Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 13: % of attacks detected vs number of monitors."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     graph = world.graph
     rng = derive_rng(make_rng(config.seed), "fig13-pairs")
     pairs = sample_attack_pairs(world, config.pairs, rng)
@@ -75,9 +84,9 @@ def run(config: Fig13Config = Fig13Config()) -> ExperimentResult:
         detected = 0
         stream_detected = 0
         for result in attacks:
-            if detection_timing(result, collector, detector).detected:
+            if detection_timing(result, collector, detector, metrics=metrics).detected:
                 detected += 1
-            streaming = StreamingDetector(detector)
+            streaming = StreamingDetector(detector, metrics=metrics)
             streaming.prime(collector.snapshot(result.baseline))
             if streaming.consume_all(attack_update_stream(result, collector)):
                 stream_detected += 1

@@ -19,7 +19,13 @@ from repro.detection.detector import ASPPInterceptionDetector
 from repro.detection.monitors import top_degree_monitors
 from repro.detection.timing import detection_timing
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult, build_world, sample_attack_pairs
+from repro.experiments.base import (
+    ExperimentResult,
+    build_world,
+    instrumented,
+    sample_attack_pairs,
+)
+from repro.telemetry.metrics import RunMetrics
 from repro.utils.cdf import EmpiricalCDF
 from repro.utils.rand import derive_rng, make_rng
 
@@ -37,9 +43,12 @@ class Fig14Config:
     monitors: int = 150
 
 
-def run(config: Fig14Config = Fig14Config()) -> ExperimentResult:
+@instrumented("fig14")
+def run(
+    config: Fig14Config = Fig14Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Figure 14's CDF of pollution-before-detection."""
-    world = build_world(seed=config.seed, scale=config.scale)
+    world = build_world(seed=config.seed, scale=config.scale, metrics=metrics)
     graph = world.graph
     rng = derive_rng(make_rng(config.seed), "fig14-pairs")
     pairs = sample_attack_pairs(world, config.pairs, rng)
@@ -60,7 +69,7 @@ def run(config: Fig14Config = Fig14Config()) -> ExperimentResult:
         )
         if not result.report.after:
             continue  # no AS was polluted: nothing to time
-        timing = detection_timing(result, collector, detector)
+        timing = detection_timing(result, collector, detector, metrics=metrics)
         detected_count += timing.detected
         # An undetected attack counts as fully polluted before detection
         # (fraction 1.0), matching DetectionTiming's convention.

@@ -22,8 +22,10 @@ from repro.runner import (
     SweepPointTask,
     WorkerContext,
     WorkerSpec,
+    execute_task,
     resolve_workers,
 )
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["padding_sweep", "pair_grid"]
 
@@ -34,21 +36,43 @@ def _run_tasks(
     *,
     workers: int | None,
     cache: BaselineCache | None,
+    metrics: RunMetrics | None = None,
 ) -> list[SweepPointResult]:
-    """Run sweep tasks serially on ``engine`` or across a process pool."""
-    spec = WorkerSpec(engine.graph, max_activations=engine.max_activations)
+    """Run sweep tasks serially on ``engine`` or across a process pool.
+
+    With ``metrics`` enabled, the serial path records straight into the
+    caller's registry (temporarily wiring it into the adopted engine and
+    cache), and the pooled path merges the per-task deltas the workers
+    ship back — in task order, so the deterministic counters come out
+    identical for every worker count.
+    """
+    enabled = metrics is not None and metrics.enabled
+    spec = WorkerSpec(
+        engine.graph,
+        max_activations=engine.max_activations,
+        metrics_enabled=enabled,
+    )
     if resolve_workers(workers) == 1:
-        ctx = WorkerContext(spec, engine=engine, cache=cache)
-        for task in tasks:
-            # Warm the whole uniform-λ family for each victim in one
-            # canonical pass (repeat victims are already-cached no-ops).
-            ctx.cache.prefetch_uniform(
-                task.victim,
-                [t.padding for t in tasks if t.victim == task.victim],
-                prefix=task.prefix,
-            )
-        return [task.run(ctx) for task in tasks]
-    with SweepExecutor(spec, workers=workers) as executor:
+        prev_engine_metrics = engine.metrics
+        prev_cache_metrics = cache.metrics if cache is not None else None
+        ctx = WorkerContext(spec, engine=engine, cache=cache, metrics=metrics)
+        try:
+            for task in tasks:
+                # Warm the whole uniform-λ family for each victim in one
+                # canonical pass (repeat victims are already-cached no-ops).
+                ctx.cache.prefetch_uniform(
+                    task.victim,
+                    [t.padding for t in tasks if t.victim == task.victim],
+                    prefix=task.prefix,
+                )
+            return [execute_task(task, ctx) for task in tasks]
+        finally:
+            engine.metrics = prev_engine_metrics
+            if cache is not None:
+                cache.metrics = prev_cache_metrics
+    with SweepExecutor(
+        spec, workers=workers, metrics=metrics if enabled else None
+    ) as executor:
         return executor.run(tasks)
 
 
@@ -61,6 +85,7 @@ def padding_sweep(
     violate_policy: bool = False,
     workers: int | None = None,
     cache: BaselineCache | None = None,
+    metrics: RunMetrics | None = None,
 ) -> list[tuple[int, float, float]]:
     """Run the attack for each λ; return ``(λ, before%, after%)`` rows.
 
@@ -71,6 +96,8 @@ def padding_sweep(
     ``cache`` optionally shares one :class:`BaselineCache` across
     several serial sweeps on the same engine (e.g. a figure's
     valley-free and policy-violating series, whose baselines coincide).
+    ``metrics`` optionally records engine/cache/worker telemetry into a
+    :class:`RunMetrics` registry without affecting the rows.
     """
     tasks = [
         SweepPointTask(
@@ -81,7 +108,9 @@ def padding_sweep(
         )
         for padding in paddings
     ]
-    results = _run_tasks(engine, tasks, workers=workers, cache=cache)
+    results = _run_tasks(
+        engine, tasks, workers=workers, cache=cache, metrics=metrics
+    )
     return [result.row() for result in results]
 
 
@@ -92,6 +121,7 @@ def pair_grid(
     origin_padding: int,
     workers: int | None = None,
     cache: BaselineCache | None = None,
+    metrics: RunMetrics | None = None,
 ) -> list[SweepPointResult]:
     """Run one fixed-λ attack per ``(attacker, victim)`` pair.
 
@@ -103,4 +133,4 @@ def pair_grid(
         SweepPointTask(victim=victim, attacker=attacker, padding=origin_padding)
         for attacker, victim in pairs
     ]
-    return _run_tasks(engine, tasks, workers=workers, cache=cache)
+    return _run_tasks(engine, tasks, workers=workers, cache=cache, metrics=metrics)

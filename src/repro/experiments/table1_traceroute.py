@@ -26,7 +26,8 @@ from repro.casestudy.facebook import (
 )
 from repro.casestudy.traceroute import TracerouteSimulator
 from repro.exceptions import ExperimentError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, instrumented
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["Table1Config", "run", "FACEBOOK_REGIONS"]
 
@@ -48,7 +49,10 @@ class Table1Config:
     prefix: str = "69.171.224.0/20"
 
 
-def run(config: Table1Config = Table1Config()) -> ExperimentResult:
+@instrumented("table1")
+def run(
+    config: Table1Config = Table1Config(), *, metrics: RunMetrics | None = None
+) -> ExperimentResult:
     """Regenerate Table I: the anomalous traceroute (plus the normal one)."""
     replay = replay_facebook_anomaly(config.prefix)
     tracer = TracerouteSimulator(regions=FACEBOOK_REGIONS)

@@ -16,7 +16,12 @@ from repro.runner.cache import (
     derive_uniform_baseline,
     derive_uniform_family,
 )
-from repro.runner.executor import SweepExecutor, available_cpus, resolve_workers
+from repro.runner.executor import (
+    SweepExecutor,
+    available_cpus,
+    execute_task,
+    resolve_workers,
+)
 from repro.runner.sampling import sample_attack_pairs
 from repro.runner.tasks import (
     CampaignPairTask,
@@ -37,6 +42,7 @@ __all__ = [
     "available_cpus",
     "derive_uniform_baseline",
     "derive_uniform_family",
+    "execute_task",
     "resolve_workers",
     "sample_attack_pairs",
 ]

@@ -36,6 +36,7 @@ from repro.bgp.engine import PropagationEngine, PropagationOutcome
 from repro.bgp.prepending import PrependingPolicy
 from repro.bgp.route import DEFAULT_PREFIX, Route
 from repro.exceptions import SimulationError
+from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["BaselineCache", "derive_uniform_baseline", "derive_uniform_family"]
 
@@ -200,7 +201,13 @@ class BaselineCache:
     engine's warm start already clones before mutating).
     """
 
-    def __init__(self, engine: PropagationEngine, *, max_entries: int = 64) -> None:
+    def __init__(
+        self,
+        engine: PropagationEngine,
+        *,
+        max_entries: int = 64,
+        metrics: RunMetrics | None = None,
+    ) -> None:
         if max_entries < 1:
             raise SimulationError("max_entries must be positive")
         self._engine = engine
@@ -209,6 +216,14 @@ class BaselineCache:
         self.hits = 0
         self.misses = 0
         self.derived = 0
+        #: optional telemetry registry mirroring the local counters into
+        #: the ``cache.*`` namespace (public and mutable, like
+        #: :attr:`PropagationEngine.metrics`).
+        self.metrics = metrics
+
+    def _record(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name)
 
     @property
     def engine(self) -> PropagationEngine:
@@ -233,8 +248,10 @@ class BaselineCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            self._record("cache.baseline_hits")
             return cached
         self.misses += 1
+        self._record("cache.baseline_misses")
         padding = prepending.uniform_origin_count(victim)
         if padding is None:
             # Arbitrary schedule: converge it directly.
@@ -245,6 +262,7 @@ class BaselineCache:
                 return canonical  # _canonical already stored it under this key
             outcome = derive_uniform_baseline(canonical, victim, padding)
             self.derived += 1
+            self._record("cache.baseline_derivations")
         self._store(key, outcome)
         return outcome
 
@@ -277,6 +295,8 @@ class BaselineCache:
             self._store(key, family[p])
             self.misses += 1
             self.derived += 1
+            self._record("cache.baseline_misses")
+            self._record("cache.baseline_derivations")
 
     # ------------------------------------------------------------------
     def _canonical(self, victim: int, prefix: str) -> PropagationOutcome:
@@ -289,6 +309,7 @@ class BaselineCache:
         outcome = self._engine.propagate(
             victim, prefix=prefix, prepending=PrependingPolicy.uniform_origin(victim, 1)
         )
+        self._record("cache.canonical_convergences")
         self._store(key, outcome)
         return outcome
 

@@ -17,6 +17,7 @@ in-process against a single shared context without any pool at all.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
@@ -24,8 +25,9 @@ from typing import Any
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import SimulationError
 from repro.runner.tasks import WorkerContext, WorkerSpec
+from repro.telemetry.metrics import RunMetrics
 
-__all__ = ["SweepExecutor", "available_cpus", "resolve_workers"]
+__all__ = ["SweepExecutor", "available_cpus", "execute_task", "resolve_workers"]
 
 
 def available_cpus() -> int:
@@ -65,9 +67,36 @@ def _init_worker(spec: WorkerSpec) -> None:
     _CONTEXT = WorkerContext(spec)
 
 
+def execute_task(task: Any, ctx: WorkerContext, worker_label: str = "serial") -> Any:
+    """Run one task against ``ctx``, recording worker-level telemetry.
+
+    ``worker.tasks``/``worker.task_seconds`` are worker-count-invariant
+    totals; the per-worker load split goes into the registry's ``info``
+    section (keyed by ``worker_label``), which is expected to differ
+    between serial and pooled runs.
+    """
+    metrics = ctx.metrics
+    if not metrics.enabled:
+        return task.run(ctx)
+    start = time.perf_counter()
+    result = task.run(ctx)
+    metrics.timer_add("worker.task_seconds", time.perf_counter() - start)
+    metrics.count("worker.tasks")
+    metrics.info_add(f"worker.{worker_label}.tasks")
+    return result
+
+
 def _run_task(task: Any) -> Any:
     assert _CONTEXT is not None, "worker used before initialization"
     return task.run(_CONTEXT)
+
+
+def _run_task_metered(task: Any) -> Any:
+    """Pool entry point when metrics are on: ship the delta with the
+    result, so the parent can aggregate per-worker metrics exactly."""
+    assert _CONTEXT is not None, "worker used before initialization"
+    result = execute_task(task, _CONTEXT, f"pid{os.getpid()}")
+    return result, _CONTEXT.metrics.take()
 
 
 class SweepExecutor:
@@ -92,18 +121,32 @@ class SweepExecutor:
         workers: int | None = None,
         force_processes: bool = False,
         engine: PropagationEngine | None = None,
+        metrics: RunMetrics | None = None,
     ) -> None:
         self.spec = spec
         self.workers = resolve_workers(workers, force=force_processes)
         self._pool: ProcessPoolExecutor | None = None
         self._context: WorkerContext | None = None
+        self._pool_metrics: RunMetrics | None = None
         if self.workers == 1:
-            self._context = WorkerContext(spec, engine=engine)
+            self._context = WorkerContext(spec, engine=engine, metrics=metrics)
+        elif spec.metrics_enabled:
+            self._pool_metrics = metrics if metrics is not None else RunMetrics()
 
     @property
     def context(self) -> WorkerContext | None:
         """The in-process context (serial mode only)."""
         return self._context
+
+    @property
+    def metrics(self) -> RunMetrics | None:
+        """The aggregated telemetry registry, or ``None`` when metrics
+        are off.  Serially this is the context's (possibly adopted)
+        registry; in pool mode it accumulates the per-task deltas the
+        workers ship back, merged in task-submission order."""
+        if self._context is not None:
+            return self._context.metrics if self._context.metrics.enabled else None
+        return self._pool_metrics
 
     def run(self, tasks: Sequence[Any]) -> list[Any]:
         """Execute ``tasks``, returning results in task order."""
@@ -111,10 +154,16 @@ class SweepExecutor:
             return []
         if self._context is not None:
             ctx = self._context
-            return [task.run(ctx) for task in tasks]
+            return [execute_task(task, ctx, "serial") for task in tasks]
         pool = self._ensure_pool()
         chunksize = max(1, len(tasks) // (4 * self.workers))
-        return list(pool.map(_run_task, tasks, chunksize=chunksize))
+        if self._pool_metrics is None:
+            return list(pool.map(_run_task, tasks, chunksize=chunksize))
+        results: list[Any] = []
+        for result, delta in pool.map(_run_task_metered, tasks, chunksize=chunksize):
+            self._pool_metrics.merge(delta)
+            results.append(result)
+        return results
 
     def map(self, tasks: Iterable[Any]) -> list[Any]:
         return self.run(list(tasks))

@@ -22,6 +22,7 @@ from repro.detection.detector import ASPPInterceptionDetector
 from repro.detection.timing import DetectionTiming, detection_timing
 from repro.exceptions import SimulationError
 from repro.runner.cache import BaselineCache
+from repro.telemetry.metrics import RunMetrics
 from repro.topology.asgraph import ASGraph
 
 __all__ = [
@@ -49,6 +50,10 @@ class WorkerSpec:
     monitors: tuple[int, ...] | None = None
     max_activations: int = 50
     cache_entries: int = 64
+    #: when True each worker keeps a :class:`RunMetrics` registry wired
+    #: into its engine, cache and detection pipeline, and ships a
+    #: metrics delta back with every task result.
+    metrics_enabled: bool = False
 
 
 class WorkerContext:
@@ -60,6 +65,7 @@ class WorkerContext:
         *,
         engine: PropagationEngine | None = None,
         cache: BaselineCache | None = None,
+        metrics: RunMetrics | None = None,
     ) -> None:
         self.graph = spec.graph
         self.engine = engine if engine is not None else PropagationEngine(
@@ -72,6 +78,18 @@ class WorkerContext:
             if cache is not None
             else BaselineCache(self.engine, max_entries=spec.cache_entries)
         )
+        # ``metrics`` lets the serial path record straight into the
+        # caller's registry; pool workers build their own per-process
+        # one from the spec.  When enabled, the context wires the
+        # registry into the engine and cache it runs tasks against —
+        # callers that *adopt* an existing engine/cache are responsible
+        # for restoring the previous attachment afterwards.
+        self.metrics = metrics if metrics is not None else RunMetrics(
+            enabled=spec.metrics_enabled
+        )
+        if self.metrics.enabled:
+            self.engine.metrics = self.metrics
+            self.cache.metrics = self.metrics
         self._monitors = spec.monitors
         self._collector: RouteCollector | None = None
         self._detector: ASPPInterceptionDetector | None = None
@@ -177,5 +195,6 @@ class CampaignPairTask:
             ctx.detector,
             min_confidence=self.min_confidence,
             attacker_feeds_collector=self.attacker_feeds_collector,
+            metrics=ctx.metrics if ctx.metrics.enabled else None,
         )
         return result, timing

@@ -1,0 +1,47 @@
+"""Run telemetry: lightweight, dependency-free instrumentation.
+
+Every layer of the simulator can report what work it did into a
+:class:`RunMetrics` registry — announcements processed and decision
+fast-path hits in the engine, baseline-cache hits and derivations in
+the runner, per-worker task counts in the executor, updates consumed
+and time-to-first-alarm in the detectors.  Registries are zero-overhead
+when disabled, picklable, and mergeable, so per-worker metrics from a
+process pool aggregate exactly into one report; the report serialises
+to JSONL event logs or a human-readable summary table.
+
+Instrumentation never changes results: metrics are pure observations,
+and the differential test suite pins that a metrics-enabled run
+produces bit-identical experiment artefacts to a disabled one.
+"""
+
+from repro.telemetry.metrics import (
+    CACHE_SHAPE_PREFIXES,
+    Counter,
+    Histogram,
+    RunMetrics,
+    Timer,
+    timed,
+)
+from repro.telemetry.report import (
+    events,
+    from_jsonl,
+    read_jsonl,
+    summary_table,
+    to_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "CACHE_SHAPE_PREFIXES",
+    "Counter",
+    "Histogram",
+    "RunMetrics",
+    "Timer",
+    "timed",
+    "events",
+    "from_jsonl",
+    "read_jsonl",
+    "summary_table",
+    "to_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,161 @@
+"""Rendering and persistence of :class:`~repro.telemetry.RunMetrics`.
+
+Two output formats:
+
+* **summary table** — one aligned text table (the same renderer every
+  experiment artefact uses, :func:`repro.utils.tables.format_table`)
+  with one row per metric;
+* **JSONL event log** — one JSON object per line, one line per metric,
+  suitable for appending across runs and for machine consumption.
+
+JSONL schema (one event per line)::
+
+    {"event": "counter",   "name": "engine.activations", "value": 1234}
+    {"event": "histogram", "name": "engine.convergence_rounds",
+     "count": 8, "total": 40.0, "min": 3.0, "max": 9.0,
+     "buckets": {"2": 3, "3": 5}}
+    {"event": "timer",     "name": "worker.task_seconds",
+     "count": 8, "total": 0.12, "max": 0.031}
+    {"event": "info",      "name": "worker.12345.tasks", "value": 8}
+
+Events are emitted in (event-kind, name) order so the log of a
+deterministic run is itself deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.metrics import RunMetrics
+from repro.utils.tables import format_table
+
+__all__ = ["events", "to_jsonl", "from_jsonl", "write_jsonl", "read_jsonl", "summary_table"]
+
+
+def events(metrics: RunMetrics) -> list[dict[str, object]]:
+    """The metrics as a deterministic list of JSONL-ready event dicts."""
+    out: list[dict[str, object]] = []
+    for name in sorted(metrics.counters):
+        out.append(
+            {"event": "counter", "name": name, "value": metrics.counters[name].value}
+        )
+    for name in sorted(metrics.histograms):
+        h = metrics.histograms[name]
+        out.append(
+            {
+                "event": "histogram",
+                "name": name,
+                "count": h.count,
+                "total": h.total,
+                "min": h.min,
+                "max": h.max,
+                "buckets": {str(b): c for b, c in sorted(h.buckets.items())},
+            }
+        )
+    for name in sorted(metrics.timers):
+        t = metrics.timers[name]
+        out.append(
+            {
+                "event": "timer",
+                "name": name,
+                "count": t.count,
+                "total": t.total,
+                "max": t.max,
+            }
+        )
+    for name in sorted(metrics.info):
+        out.append({"event": "info", "name": name, "value": metrics.info[name]})
+    return out
+
+
+def to_jsonl(metrics: RunMetrics) -> str:
+    """One JSON object per line (no trailing newline)."""
+    return "\n".join(json.dumps(event, sort_keys=True) for event in events(metrics))
+
+
+def from_jsonl(text: str) -> RunMetrics:
+    """Rebuild a registry from a JSONL event log (inverse of :func:`to_jsonl`)."""
+    metrics = RunMetrics()
+    data: dict[str, dict] = {"counters": {}, "histograms": {}, "timers": {}, "info": {}}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        kind, name = event["event"], event["name"]
+        if kind == "counter":
+            data["counters"][name] = event["value"]
+        elif kind == "histogram":
+            data["histograms"][name] = {
+                "count": event["count"],
+                "total": event["total"],
+                "min": event["min"],
+                "max": event["max"],
+                "buckets": event["buckets"],
+            }
+        elif kind == "timer":
+            data["timers"][name] = {
+                "count": event["count"],
+                "total": event["total"],
+                "max": event["max"],
+            }
+        elif kind == "info":
+            data["info"][name] = event["value"]
+        else:
+            raise ValueError(f"unknown metrics event kind {kind!r}")
+    return metrics.merge(RunMetrics.from_dict(data))
+
+
+def write_jsonl(metrics: RunMetrics, path: str | Path) -> None:
+    Path(path).write_text(to_jsonl(metrics) + "\n")
+
+
+def read_jsonl(path: str | Path) -> RunMetrics:
+    return from_jsonl(Path(path).read_text())
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def summary_table(metrics: RunMetrics) -> str:
+    """One aligned table over every recorded metric.
+
+    Counters report their value; histograms report count/mean/min/max;
+    timers report count and total/mean/max milliseconds; info rows
+    report their tally.
+    """
+    rows: list[tuple[object, ...]] = []
+    for name in sorted(metrics.counters):
+        rows.append((name, "counter", _fmt(metrics.counters[name].value), "-", "-", "-"))
+    for name in sorted(metrics.histograms):
+        h = metrics.histograms[name]
+        rows.append(
+            (name, "histogram", _fmt(h.count), _fmt(h.mean), _fmt(h.min), _fmt(h.max))
+        )
+    for name in sorted(metrics.timers):
+        t = metrics.timers[name]
+        rows.append(
+            (
+                name,
+                "timer",
+                _fmt(t.count),
+                f"{1e3 * t.mean:.3g} ms",
+                f"{1e3 * t.total:.3g} ms total",
+                f"{1e3 * t.max:.3g} ms max",
+            )
+        )
+    for name in sorted(metrics.info):
+        rows.append((name, "info", _fmt(metrics.info[name]), "-", "-", "-"))
+    if not rows:
+        rows.append(("(no metrics recorded)", "-", "-", "-", "-", "-"))
+    return format_table(
+        ("metric", "kind", "count/value", "mean", "min/total", "max"),
+        rows,
+        title="run metrics",
+    )

@@ -116,3 +116,74 @@ class TestStreamingDetector:
         streaming.prime(collector.snapshot(result.baseline))
         alarms = streaming.consume_all(attack_update_stream(result, collector))
         assert bool(alarms) == batch.detected
+
+
+class TestNeighbourClassMemory:
+    """Regression: the per-(prefix, monitor, neighbour) class memory must
+    survive a withdraw/re-announce flap.
+
+    Collector feeds carry no local-pref, so reconstructed routes infer
+    their class.  The old implementation remembered the class only while
+    a route from that neighbour was installed: a withdrawal erased it,
+    and the re-announced (identical) route came back with the default
+    class — a different ``Route`` identity, so the *original* route
+    replayed afterwards looked like a change instead of a duplicate.
+    """
+
+    def _primed(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        view = collector.snapshot(result.baseline)
+        streaming.prime(view)
+        return streaming, view, result.baseline.prefix
+
+    def test_reannounced_route_keeps_learned_class(self, attacked):
+        streaming, view, prefix = self._primed(attacked)
+        monitor = 2
+        original = view.routes[monitor]
+        assert original is not None
+        streaming.consume(
+            UpdateMessage(monitor=monitor, prefix=prefix, path=(), withdrawn=True)
+        )
+        assert streaming.current_view(prefix).routes[monitor] is None
+        streaming.consume(
+            UpdateMessage(monitor=monitor, prefix=prefix, path=original.path)
+        )
+        rebuilt = streaming.current_view(prefix).routes[monitor]
+        assert rebuilt == original  # identical identity, class included
+        assert rebuilt.pref is original.pref
+
+    def test_replay_after_flap_is_duplicate(self, attacked):
+        """After withdraw + re-announce, replaying the original
+        announcement must be suppressed as a duplicate (no view change,
+        no alarms) — the stale-class bug made it look like a change."""
+        streaming, view, prefix = self._primed(attacked)
+        monitor = 2
+        original = view.routes[monitor]
+        flap = [
+            UpdateMessage(monitor=monitor, prefix=prefix, path=(), withdrawn=True),
+            UpdateMessage(monitor=monitor, prefix=prefix, path=original.path),
+        ]
+        streaming.consume_all(flap)
+        replay = UpdateMessage(monitor=monitor, prefix=prefix, path=original.path)
+        assert streaming.consume(replay) == []
+        assert streaming.current_view(prefix).routes[monitor] == original
+
+    def test_never_seen_neighbour_defaults_conservatively(self, attacked):
+        streaming, view, prefix = self._primed(attacked)
+        from repro.detection.streaming import _DEFAULT_PREF
+
+        fresh = UpdateMessage(monitor=2, prefix="198.51.100.0/24", path=(99, 100))
+        streaming.consume(fresh)
+        route = streaming.current_view("198.51.100.0/24").routes[2]
+        assert route.pref is _DEFAULT_PREF
+
+    def test_prime_populates_class_memory(self, attacked):
+        streaming, view, prefix = self._primed(attacked)
+        for monitor, route in view.routes.items():
+            if route is None or route.learned_from is None:
+                continue
+            assert (
+                streaming._classes[prefix][monitor][route.learned_from]
+                is route.pref
+            )

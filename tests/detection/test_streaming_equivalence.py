@@ -1,0 +1,127 @@
+"""Property: the streaming detector is an *equivalence* of the batch
+detector at the stream's end, monitor by monitor.
+
+:mod:`tests.detection.test_streaming_properties` pins the one-sided
+dominance (streaming catches everything batch catches).  This suite
+pins the exact oracle: when a monitor's update is the **last** one
+consumed, the streaming detector's reconstructed global view equals the
+batch detector's final converged view, so the alarms that update
+triggers must equal ``ASPPInterceptionDetector.inspect_change`` on the
+final snapshots — not just imply the same verdict, but raise the very
+same alarm tuples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.collectors import RouteCollector
+from repro.bgp.engine import PropagationEngine
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.monitors import top_degree_monitors
+from repro.detection.streaming import StreamingDetector, attack_update_stream
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+TINY = InternetTopologyConfig(
+    num_tier1=3,
+    num_tier2=6,
+    num_tier3=12,
+    num_tier4=10,
+    num_stubs=40,
+    num_content=2,
+    sibling_pairs=1,
+)
+
+
+def _attack_setup(seed: int, padding: int):
+    rng = random.Random(seed)
+    world = generate_internet_topology(TINY, rng)
+    graph = world.graph
+    engine = PropagationEngine(graph)
+    attacker = rng.choice(world.transit_ases)
+    victim = rng.choice([a for a in graph.ases if a != attacker])
+    result = simulate_interception(
+        engine, victim=victim, attacker=attacker, origin_padding=padding
+    )
+    collector = RouteCollector(
+        graph, top_degree_monitors(graph, max(5, len(graph) // 3))
+    )
+    return graph, result, collector
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10**6), padding=st.integers(2, 5))
+def test_last_consumed_update_matches_batch_inspection(seed, padding):
+    """For every changed monitor m: a stream reordered so m's update
+    arrives last leaves the streaming view equal to the converged
+    after-view, so m's alarms equal the batch ``inspect_change``."""
+    graph, result, collector = _attack_setup(seed, padding)
+    detector = ASPPInterceptionDetector(graph)
+    messages = attack_update_stream(result, collector)
+    before = collector.snapshot(result.baseline)
+    after = collector.snapshot(
+        result.attacked, modifiers={result.attack.attacker: result.attack.modifier()}
+    )
+    for last in messages:
+        streaming = StreamingDetector(detector)
+        streaming.prime(before)
+        rest = [m for m in messages if m.monitor != last.monitor]
+        streaming.consume_all(rest)
+        stream_alarms = streaming.consume(last)
+        batch_alarms = detector.inspect_change(
+            last.monitor,
+            before.routes.get(last.monitor),
+            after.routes.get(last.monitor),
+            after,
+        )
+        assert stream_alarms == list(batch_alarms)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6), padding=st.integers(2, 5))
+def test_final_streaming_view_paths_match_converged_view(seed, padding):
+    """After the whole stream, the reconstructed view carries exactly
+    the converged AS-PATHs.  (Paths, not full routes: collector feeds
+    carry no local-pref, so a sibling-inherited class may legitimately
+    be reconstructed as the remembered per-neighbour class.)"""
+    graph, result, collector = _attack_setup(seed, padding)
+    streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+    streaming.prime(collector.snapshot(result.baseline))
+    streaming.consume_all(attack_update_stream(result, collector))
+    after = collector.snapshot(
+        result.attacked, modifiers={result.attack.attacker: result.attack.modifier()}
+    )
+    view = streaming.current_view(after.prefix)
+    assert set(view.routes) == set(after.routes)
+    for monitor, route in after.routes.items():
+        mine = view.routes[monitor]
+        if route is None:
+            assert mine is None
+        else:
+            assert mine is not None
+            assert mine.path == route.path
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6), padding=st.integers(2, 5))
+def test_consume_all_equals_per_update_consumption(seed, padding):
+    """``consume_all`` is exactly the concatenation of ``consume``."""
+    graph, result, collector = _attack_setup(seed, padding)
+    detector = ASPPInterceptionDetector(graph)
+    messages = attack_update_stream(result, collector)
+    baseline_view = collector.snapshot(result.baseline)
+
+    batched = StreamingDetector(detector)
+    batched.prime(baseline_view)
+    all_alarms = batched.consume_all(messages)
+
+    one_by_one = StreamingDetector(detector)
+    one_by_one.prime(baseline_view)
+    concatenated = []
+    for message in messages:
+        concatenated.extend(one_by_one.consume(message))
+    assert all_alarms == concatenated

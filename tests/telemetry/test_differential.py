@@ -1,0 +1,199 @@
+"""Differential guarantees of the telemetry layer.
+
+Two contracts are pinned here:
+
+* **metrics never change results** — experiment artefacts (rows,
+  summary, rendered text) are bit-identical with metrics enabled or
+  disabled;
+* **pooled aggregation is exact** — the merged registry of a
+  process-pool run equals the serial registry for every deterministic
+  section (counters and histograms; wall-clock timers and the
+  per-worker ``info`` split legitimately differ).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.engine import PropagationEngine
+from repro.core import InterceptionStudy
+from repro.experiments.fig09_tier1_vs_tier1 import Fig09Config
+from repro.experiments.fig09_tier1_vs_tier1 import run as run_fig09
+from repro.experiments.sweeps import padding_sweep
+from repro.runner import (
+    BaselineCache,
+    SweepExecutor,
+    SweepPointTask,
+    WorkerSpec,
+)
+from repro.telemetry import RunMetrics
+
+SCALE = 0.25
+SEED = 7
+
+
+@pytest.fixture()
+def generated_world(small_world):
+    """A fresh engine over the shared small world (fresh so tests can
+    attach registries without touching the session-scoped engine)."""
+    return PropagationEngine(small_world.graph), small_world
+
+
+class TestMetricsDoNotChangeResults:
+    def test_fig09_artefact_is_bit_identical(self):
+        plain = run_fig09(Fig09Config(seed=SEED, scale=SCALE))
+        metrics = RunMetrics()
+        instrumented = run_fig09(Fig09Config(seed=SEED, scale=SCALE), metrics=metrics)
+        assert instrumented.rows == plain.rows
+        assert instrumented.summary == plain.summary
+        assert instrumented.to_text() == plain.to_text()
+        assert plain.metrics is None
+        assert instrumented.metrics is metrics
+        assert metrics.counter_value("engine.warm.propagations") > 0
+        assert "engine.warm.convergence_rounds" in metrics.histograms
+        assert instrumented.metrics_text().startswith("run metrics")
+        assert plain.metrics_text() == ""
+
+    def test_disabled_registry_stays_empty(self):
+        metrics = RunMetrics(enabled=False)
+        result = run_fig09(Fig09Config(seed=SEED, scale=SCALE), metrics=metrics)
+        assert not metrics
+        assert result.metrics_text() == ""
+
+    def test_padding_sweep_rows_identical_with_metrics(self, generated_world):
+        engine, world = generated_world
+        victim = world.stubs[0]
+        attacker = world.tier1[0]
+        plain = padding_sweep(
+            engine, victim=victim, attacker=attacker, paddings=range(1, 5)
+        )
+        metrics = RunMetrics()
+        instrumented = padding_sweep(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            paddings=range(1, 5),
+            metrics=metrics,
+        )
+        assert instrumented == plain
+        assert metrics.counter_value("worker.tasks") == 4
+
+    def test_adopted_engine_attachment_is_restored(self, generated_world):
+        engine, world = generated_world
+        sentinel = RunMetrics(enabled=False)
+        engine.metrics = sentinel
+        padding_sweep(
+            engine,
+            victim=world.stubs[1],
+            attacker=world.tier1[0],
+            paddings=(1, 2),
+            metrics=RunMetrics(),
+        )
+        assert engine.metrics is sentinel
+
+
+def _sweep_tasks(world):
+    victims = world.stubs[:3]
+    return [
+        SweepPointTask(victim=victim, attacker=world.tier1[0], padding=padding)
+        for victim in victims
+        for padding in (1, 2, 3)
+    ]
+
+
+class TestPooledAggregationIsExact:
+    def test_forced_pool_matches_serial_registry(self, generated_world):
+        engine, world = generated_world
+        tasks = _sweep_tasks(world)
+        spec = WorkerSpec(
+            world.graph,
+            max_activations=engine.max_activations,
+            metrics_enabled=True,
+        )
+        serial_metrics = RunMetrics()
+        with SweepExecutor(spec, workers=1, metrics=serial_metrics) as executor:
+            serial_results = executor.run(tasks)
+        pooled_metrics = RunMetrics()
+        with SweepExecutor(
+            spec, workers=2, force_processes=True, metrics=pooled_metrics
+        ) as executor:
+            pooled_results = executor.run(tasks)
+        assert pooled_results == serial_results
+        assert (
+            pooled_metrics.deterministic_snapshot()
+            == serial_metrics.deterministic_snapshot()
+        )
+        # The cache-shape namespaces are allowed to differ (each pool
+        # worker converges its own canonical baselines) but must still
+        # be present in both registries.
+        assert pooled_metrics.counter_value("cache.canonical_convergences") >= (
+            serial_metrics.counter_value("cache.canonical_convergences")
+        )
+        assert serial_metrics.counter_value("worker.tasks") == len(tasks)
+        # The info section carries the run-shape split: serial labels vs
+        # per-PID labels.
+        assert "worker.serial.tasks" in serial_metrics.info
+        assert all(key.startswith("worker.pid") for key in pooled_metrics.info)
+
+    def test_executor_metrics_property(self, generated_world):
+        engine, world = generated_world
+        spec = WorkerSpec(world.graph, max_activations=engine.max_activations)
+        with SweepExecutor(spec, workers=1) as executor:
+            assert executor.metrics is None
+        enabled_spec = WorkerSpec(
+            world.graph,
+            max_activations=engine.max_activations,
+            metrics_enabled=True,
+        )
+        with SweepExecutor(enabled_spec, workers=1) as executor:
+            assert executor.metrics is not None
+
+    def test_serial_cache_hits_survive_prefetch_shape(self, generated_world):
+        """The serial sweep path prefetches whole λ families, so the
+        cache counters reflect one canonical convergence per victim."""
+        engine, world = generated_world
+        victim = world.stubs[4]
+        metrics = RunMetrics()
+        cache = BaselineCache(engine)
+        padding_sweep(
+            engine,
+            victim=victim,
+            attacker=world.tier1[0],
+            paddings=range(1, 6),
+            cache=cache,
+            metrics=metrics,
+        )
+        assert metrics.counter_value("cache.canonical_convergences") == 1
+        assert metrics.counter_value("cache.baseline_hits") == 5
+
+
+class TestCampaignAggregation:
+    def test_campaign_metrics_match_across_worker_counts(self):
+        serial_study = InterceptionStudy.generate(seed=SEED, scale=SCALE, monitors=40)
+        serial_metrics = RunMetrics()
+        serial = serial_study.campaign(
+            pairs=8, padding=3, workers=None, metrics=serial_metrics
+        )
+        pooled_study = InterceptionStudy.generate(seed=SEED, scale=SCALE, monitors=40)
+        pooled_metrics = RunMetrics()
+        pooled = pooled_study.campaign(
+            pairs=8, padding=3, workers=4, metrics=pooled_metrics
+        )
+        assert [r.report.after_fraction for r in pooled.results] == [
+            r.report.after_fraction for r in serial.results
+        ]
+        assert [t.detected for t in pooled.timings] == [
+            t.detected for t in serial.timings
+        ]
+        assert (
+            pooled_metrics.deterministic_snapshot()
+            == serial_metrics.deterministic_snapshot()
+        )
+        assert serial.metrics is serial_metrics
+        assert serial_metrics.counter_value("detection.timings") == 8
+
+    def test_campaign_without_metrics_unchanged(self):
+        study = InterceptionStudy.generate(seed=SEED, scale=SCALE, monitors=40)
+        campaign = study.campaign(pairs=4, padding=3)
+        assert campaign.metrics is None
+        assert len(campaign.results) == 4

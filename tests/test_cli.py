@@ -76,3 +76,134 @@ def test_all_runs_every_registered_experiment(capsys, monkeypatch):
     assert main(["all"]) == 0
     out = capsys.readouterr().out
     assert "table1" in out and "fig01" in out
+
+
+class TestMetricsFlags:
+    """The ``--metrics`` / ``--metrics-out`` surface on run/all/campaign."""
+
+    def test_default_is_off(self, capsys):
+        assert main(["run", "fig09", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "run metrics" not in out
+
+    def test_run_metrics_summary_prints_table(self, capsys):
+        assert main(["run", "fig09", "--scale", "0.15", "--metrics", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "run metrics" in out
+        assert "engine.warm.propagations" in out
+        assert "experiment.fig09_seconds" in out
+
+    def test_run_metrics_do_not_change_result_text(self, capsys):
+        main(["run", "fig09", "--scale", "0.15"])
+        plain = capsys.readouterr().out
+        main(["run", "fig09", "--scale", "0.15", "--metrics", "summary"])
+        instrumented = capsys.readouterr().out
+        assert instrumented.startswith(plain.rstrip("\n"))
+
+    def test_run_metrics_jsonl_emits_valid_events(self, capsys):
+        import json
+
+        assert main(["run", "fig09", "--scale", "0.15", "--metrics", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        events = [
+            json.loads(line) for line in out.splitlines() if line.startswith("{")
+        ]
+        assert events
+        kinds = {event["event"] for event in events}
+        assert kinds <= {"counter", "histogram", "timer", "info"}
+        assert any(event["name"] == "engine.warm.propagations" for event in events)
+
+    def test_run_metrics_out_writes_parseable_file(self, capsys, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        path = tmp_path / "metrics.jsonl"
+        assert main(
+            [
+                "run", "fig09", "--scale", "0.15",
+                "--metrics", "jsonl", "--metrics-out", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {path}" in out
+        restored = read_jsonl(path)
+        assert restored.counter_value("engine.warm.propagations") > 0
+
+    def test_metrics_out_requires_jsonl_mode(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        for argv in (
+            ["run", "fig09", "--metrics-out", path],
+            ["run", "fig09", "--metrics", "summary", "--metrics-out", path],
+            ["all", "--metrics-out", path],
+            ["campaign", "--metrics-out", path],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_invalid_metrics_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig09", "--metrics", "verbose"])
+
+    def test_world_has_no_metrics_flags(self):
+        with pytest.raises(SystemExit):
+            main(["world", "--scale", "0.15", "--metrics", "summary"])
+
+    def test_uninstrumented_experiment_reports_empty_registry(self, capsys):
+        """Experiments without a ``metrics`` kwarg (the ablations) still
+        accept the flag and report an empty registry."""
+        assert main(["run", "ablation-fp", "--scale", "0.15", "--metrics", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "(no metrics recorded)" in out
+
+    def test_campaign_metrics_summary(self, capsys):
+        assert main(
+            [
+                "campaign", "--scale", "0.15", "--pairs", "4",
+                "--metrics", "summary",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+        assert "run metrics" in out
+        assert "detection.timings" in out
+
+    def test_all_merges_metrics_across_experiments(self, capsys, monkeypatch):
+        """``all --metrics summary`` shares one registry and emits it
+        once, after the last experiment."""
+        import repro.cli as cli
+
+        small = {k: v for k, v in REGISTRY.items() if k in ("fig09", "fig10")}
+        monkeypatch.setattr(cli, "REGISTRY", small)
+        assert main(["all", "--scale", "0.15", "--metrics", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("run metrics") == 1
+        assert "experiment.fig09_seconds" in out
+        assert "experiment.fig10_seconds" in out
+        assert out.index("experiment.fig10_seconds") > out.index("fig09:")
+
+
+class TestSubcommandParsing:
+    """Every subcommand's argument surface parses as documented."""
+
+    def test_run_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig09", "--bogus", "1"])
+
+    def test_campaign_rejects_bad_placement(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--placement", "random"])
+
+    def test_campaign_placement_choices_accepted(self, capsys):
+        assert main(
+            [
+                "campaign", "--scale", "0.15", "--pairs", "3",
+                "--placement", "greedy-cover", "--monitors", "20",
+            ]
+        ) == 0
+        assert "greedy-cover" in capsys.readouterr().out
+
+    def test_run_workers_flag_does_not_change_rows(self, capsys):
+        main(["run", "fig09", "--scale", "0.15"])
+        serial = capsys.readouterr().out
+        main(["run", "fig09", "--scale", "0.15", "--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
