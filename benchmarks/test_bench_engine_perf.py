@@ -2,12 +2,23 @@
 
 Unlike the figure benchmarks (one full experiment per run), these use
 pytest-benchmark's statistics properly: many rounds of a single
-propagation, at three topology scales, plus the warm-start attack path.
-They guard the engine's performance envelope — every experiment in the
-repository is some multiple of these operations.
+propagation, at three topology scales, plus the warm-start attack path
+— each measured for **both** backends, so the compiled core's envelope
+is tracked against the reference interpreter it replaced.
+
+``test_bench_fig09_sweep_speedup`` is the regression gate: it times the
+full Figure-9 λ-sweep pipeline (canonical baseline, cached λ
+derivations, eight warm-started attacks, pollution reports) on both
+backends, asserts the rows are bit-identical, writes the measurement to
+``BENCH_engine.json`` at the repository root, and fails if the compiled
+backend drops below 1.5× the reference.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +26,12 @@ from repro.attack.interception import ASPPInterceptionAttack
 from repro.bgp.engine import PropagationEngine
 from repro.bgp.prepending import PrependingPolicy
 from repro.experiments.base import build_world
+from repro.experiments.sweeps import padding_sweep
+from repro.topology.tiers import customer_cone
+
+BACKENDS = ("reference", "compiled")
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="module")
@@ -22,29 +39,40 @@ def worlds():
     return {scale: build_world(seed=7, scale=scale) for scale in (0.25, 0.5, 1.0)}
 
 
+@pytest.fixture(scope="module")
+def engines(worlds):
+    return {
+        (scale, backend): PropagationEngine(world.graph, backend=backend)
+        for scale, world in worlds.items()
+        for backend in BACKENDS
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("scale", [0.25, 0.5, 1.0])
-def test_bench_cold_propagation(benchmark, worlds, scale):
+def test_bench_cold_propagation(benchmark, worlds, engines, scale, backend):
     world = worlds[scale]
+    engine = engines[(scale, backend)]
     victim = world.topology.content[0]
     prepending = PrependingPolicy.uniform_origin(victim, 3)
-    outcome = benchmark(
-        world.engine.propagate, victim, prepending=prepending
-    )
+    outcome = benchmark(engine.propagate, victim, prepending=prepending)
     assert outcome.best[victim] is not None
     reachable = sum(1 for route in outcome.best.values() if route is not None)
     assert reachable == len(world.graph)
 
 
-def test_bench_warm_start_attack(benchmark, worlds):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_warm_start_attack(benchmark, worlds, engines, backend):
     world = worlds[1.0]
+    engine = engines[(1.0, backend)]
     victim = world.topology.content[0]
     attacker = world.topology.tier1[0]
     prepending = PrependingPolicy.uniform_origin(victim, 3)
-    baseline = world.engine.propagate(victim, prepending=prepending)
+    baseline = engine.propagate(victim, prepending=prepending)
     modifier = ASPPInterceptionAttack(attacker=attacker, victim=victim).modifier()
 
     def attack_run():
-        return world.engine.propagate(
+        return engine.propagate(
             victim,
             prepending=prepending,
             modifiers={attacker: modifier},
@@ -55,8 +83,65 @@ def test_bench_warm_start_attack(benchmark, worlds):
     assert outcome.rounds >= 0
 
 
-def test_bench_engine_construction(benchmark, worlds):
-    """Adjacency pre-compilation cost (paid once per topology)."""
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_engine_construction(benchmark, worlds, backend):
+    """Table pre-compilation cost (paid once per topology)."""
     graph = worlds[1.0].graph
-    engine = benchmark(PropagationEngine, graph)
+    engine = benchmark(PropagationEngine, graph, backend=backend)
     assert engine.graph is graph
+
+
+def _time_fig09_sweep(graph, backend, attacker, victim, repeats=3):
+    """Min-of-N wall clock of the λ-sweep with a fresh engine per rep
+    (a fresh engine per topology is exactly what the runner pays)."""
+    best = None
+    rows = None
+    for _ in range(repeats):
+        engine = PropagationEngine(graph, backend=backend)
+        start = time.perf_counter()
+        rows = padding_sweep(
+            engine, attacker=attacker, victim=victim, paddings=range(1, 9)
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, rows
+
+
+def test_bench_fig09_sweep_speedup(worlds):
+    """The compiled backend must hold >= 1.5x over the reference on the
+    Figure-9 λ-sweep (the tentpole's acceptance gate is 2x; the CI bar
+    leaves headroom for noisy shared runners)."""
+    world = worlds[1.0]
+    graph = world.graph
+    tier1 = sorted(
+        world.topology.tier1, key=lambda asn: -len(customer_cone(graph, asn))
+    )
+    attacker, victim = tier1[0], tier1[1]
+
+    reference_s, reference_rows = _time_fig09_sweep(graph, "reference", attacker, victim)
+    compiled_s, compiled_rows = _time_fig09_sweep(graph, "compiled", attacker, victim)
+    assert compiled_rows == reference_rows, "backends disagree on sweep rows"
+
+    speedup = reference_s / compiled_s
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "fig09_lambda_sweep",
+                "topology_ases": len(graph),
+                "reference_ms": round(reference_s * 1000, 2),
+                "compiled_ms": round(compiled_s * 1000, 2),
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(
+        f"\nfig09 sweep: reference {reference_s * 1000:.1f} ms, "
+        f"compiled {compiled_s * 1000:.1f} ms, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 1.5, (
+        f"compiled backend regressed to {speedup:.2f}x over reference "
+        f"(floor is 1.5x)"
+    )

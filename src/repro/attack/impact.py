@@ -69,6 +69,56 @@ class PollutionReport:
         return self.after_fraction - self.before_fraction
 
 
+def _compiled_traversal_sets(
+    baseline: PropagationOutcome,
+    attacked: PropagationOutcome,
+    attacker: int,
+    victim: int,
+) -> tuple[int, set[int], set[int]] | None:
+    """``(population size, before, after)`` computed on the outcomes'
+    attached compiled states, or ``None`` when they are unavailable.
+
+    When both outcomes carry :class:`~repro.bgp.compiled.CompiledState`
+    over the same intern table — the invariable case for runner tasks,
+    where the attack warm-starts from the cache's derived baseline —
+    "does this AS's path traverse the attacker?" is one mask AND per AS
+    instead of a tuple scan, and the result is exactly the membership
+    test on the reified path.
+    """
+    base_state = baseline.compiled_state
+    attack_state = attacked.compiled_state
+    if (
+        base_state is None
+        or attack_state is None
+        or base_state.table is not attack_state.table
+    ):
+        return None
+    topo = base_state.table.topo
+    attacker_idx = topo.index.get(attacker)
+    if attacker_idx is None:
+        return None
+    victim_idx = topo.index.get(victim)
+    bit = 1 << attacker_idx
+    mask = base_state.table.mask
+    asn_of = topo.asn
+    base_pref = base_state.best_pref
+    base_pid = base_state.best_pid
+    attack_pref = attack_state.best_pref
+    attack_pid = attack_state.best_pid
+    num_ases = 0
+    before: set[int] = set()
+    after: set[int] = set()
+    for i in range(topo.n):
+        if i == attacker_idx or i == victim_idx:
+            continue
+        num_ases += 1
+        if base_pref[i] >= 0 and mask[base_pid[i]] & bit:
+            before.add(asn_of[i])
+        if attack_pref[i] >= 0 and mask[attack_pid[i]] & bit:
+            after.add(asn_of[i])
+    return num_ases, before, after
+
+
 def pollution_report(
     *,
     baseline: PropagationOutcome,
@@ -77,9 +127,20 @@ def pollution_report(
     victim: int,
 ) -> PollutionReport:
     """Compare baseline and attacked outcomes into a :class:`PollutionReport`."""
+    compiled = _compiled_traversal_sets(baseline, attacked, attacker, victim)
+    if compiled is not None:
+        num_ases, before, after = compiled
+        return PollutionReport(
+            attacker=attacker,
+            victim=victim,
+            num_ases=num_ases,
+            before=frozenset(before),
+            after=frozenset(after),
+            newly_polluted=frozenset(after - before),
+        )
     population = _eligible_ases(baseline, attacker, victim)
-    before: set[int] = set()
-    after: set[int] = set()
+    before = set()
+    after = set()
     for asn in population:
         base_route = baseline.best.get(asn)
         if base_route is not None and attacker in base_route.path:

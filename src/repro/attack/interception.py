@@ -106,8 +106,18 @@ class InterceptionResult:
         attacker to keep a valid route to the victim; AS-PATH loop
         prevention guarantees its own route never traverses itself.
         """
-        route = self.attacked.best.get(self.attack.attacker)
-        return route is not None and self.attack.attacker not in route.path
+        attacker = self.attack.attacker
+        state = self.attacked.compiled_state
+        if state is not None:
+            idx = state.topo.index.get(attacker)
+            if idx is not None:
+                # Same test in compiled space: route presence is the
+                # pref sentinel, path membership is one mask AND.
+                if state.best_pref[idx] < 0:
+                    return False
+                return not (state.table.mask[state.best_pid[idx]] & (1 << idx))
+        route = self.attacked.best.get(attacker)
+        return route is not None and attacker not in route.path
 
 
 def simulate_interception(

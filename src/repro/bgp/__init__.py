@@ -27,6 +27,7 @@ from repro.bgp.aspath import (
     strip_origin_padding,
 )
 from repro.bgp.collectors import MonitorView, RouteCollector
+from repro.bgp.compiled import CompiledState, CompiledTopology, InternTable
 from repro.bgp.decision import best_route, preference_key
 from repro.bgp.engine import PropagationEngine, PropagationOutcome
 from repro.bgp.policy import ExportPolicy
@@ -38,6 +39,9 @@ from repro.bgp.uphill_hijack import paper_hijack_estimate
 
 __all__ = [
     "ASPath",
+    "CompiledState",
+    "CompiledTopology",
+    "InternTable",
     "prepend",
     "origin_of",
     "padding_of_origin",

@@ -41,10 +41,11 @@ propagation time.
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Callable, Iterable, Mapping
-from dataclasses import dataclass, field
+from typing import Any
 
+from repro.bgp.compiled import CompiledState, CompiledTopology, InternTable, run_compiled
 from repro.bgp.decision import preference_key
 from repro.bgp.policy import ExportPolicy
 from repro.bgp.prepending import PrependingPolicy
@@ -68,7 +69,6 @@ PathModifier = Callable[[tuple[int, ...]], tuple[int, ...]]
 ImportFilter = Callable[[int, tuple[int, ...]], bool]
 
 
-@dataclass
 class PropagationOutcome:
     """The converged routing state for one prefix.
 
@@ -82,19 +82,146 @@ class PropagationOutcome:
     relationship alone.  ``adoption_round`` is the logical propagation
     round at which each AS last changed its best route (0 = unchanged
     since the start state).
+
+    The tuple-based maps may be materialised *lazily*: the compiled
+    backend and the baseline cache construct outcomes with an ``emit``
+    callback instead of eager ``best``/``adj_rib_in`` dicts, and the
+    callback reifies the interned state into tuples on first access.
+    The sweep pipeline (warm starts, λ derivations, pollution reports)
+    reads only the attached compiled state, so it never pays for the
+    dicts; any consumer that does touch them sees exactly what an eager
+    build would have produced — equality, pickling and :meth:`clone`
+    all force materialisation first.
     """
 
-    prefix: str
-    origin: int
-    best: dict[int, Route | None]
-    adj_rib_in: dict[int, dict[int, tuple[tuple[int, ...], PrefClass] | None]]
-    adoption_round: dict[int, int] = field(default_factory=dict)
-    rounds: int = 0
-    #: preference key per AS, carried so warm starts skip recomputing
-    #: them; purely derived data, excluded from equality.
-    best_keys: dict[int, tuple[int, int, int] | None] | None = field(
-        default=None, repr=False, compare=False
+    __slots__ = (
+        "prefix",
+        "origin",
+        "adoption_round",
+        "rounds",
+        "compiled_state",
+        "_best",
+        "_adj_rib_in",
+        "_best_keys",
+        "_emit",
     )
+
+    def __init__(
+        self,
+        prefix: str,
+        origin: int,
+        best: dict[int, Route | None] | None = None,
+        adj_rib_in: dict[int, dict[int, tuple[tuple[int, ...], PrefClass] | None]]
+        | None = None,
+        adoption_round: dict[int, int] | None = None,
+        rounds: int = 0,
+        best_keys: dict[int, tuple[int, int, int] | None] | None = None,
+        *,
+        emit: Callable[["PropagationOutcome"], None] | None = None,
+    ) -> None:
+        if emit is None and (best is None or adj_rib_in is None):
+            raise SimulationError(
+                "an outcome needs either eager best/adj_rib_in maps or an emit callback"
+            )
+        self.prefix = prefix
+        self.origin = origin
+        self.adoption_round = {} if adoption_round is None else adoption_round
+        self.rounds = rounds
+        self._best = best
+        self._adj_rib_in = adj_rib_in
+        #: preference key per AS, carried so warm starts skip
+        #: recomputing them; purely derived data, excluded from equality.
+        self._best_keys = best_keys
+        self._emit = emit
+        #: the same converged state in the compiled backend's (index,
+        #: intern-id) space (:class:`repro.bgp.compiled.CompiledState`),
+        #: attached by the compiled engine and the baseline cache so
+        #: warm starts and λ derivations stay in compiled space.
+        #: Derived data: excluded from equality and dropped on pickling
+        #: (an intern table is engine-local and must not cross process
+        #: boundaries).
+        self.compiled_state: Any | None = None
+
+    # -- lazy materialisation -------------------------------------------
+    def _materialise(self) -> None:
+        emit = self._emit
+        self._emit = None
+        emit(self)
+
+    def _set_materialised(
+        self,
+        best: dict[int, Route | None],
+        adj_rib_in: dict[int, dict[int, tuple[tuple[int, ...], PrefClass] | None]],
+        best_keys: dict[int, tuple[int, int, int] | None] | None,
+    ) -> None:
+        """Called by the ``emit`` callback with the reified maps."""
+        self._best = best
+        self._adj_rib_in = adj_rib_in
+        self._best_keys = best_keys
+
+    @property
+    def best(self) -> dict[int, Route | None]:
+        if self._best is None:
+            self._materialise()
+        return self._best
+
+    @property
+    def adj_rib_in(
+        self,
+    ) -> dict[int, dict[int, tuple[tuple[int, ...], PrefClass] | None]]:
+        if self._adj_rib_in is None:
+            self._materialise()
+        return self._adj_rib_in
+
+    @property
+    def best_keys(self) -> dict[int, tuple[int, int, int] | None] | None:
+        if self._emit is not None:
+            self._materialise()
+        return self._best_keys
+
+    # -- value semantics (matching the former dataclass definition) -----
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not PropagationOutcome:
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.origin == other.origin
+            and self.rounds == other.rounds
+            and self.adoption_round == other.adoption_round
+            and self.best == other.best
+            and self.adj_rib_in == other.adj_rib_in
+        )
+
+    __hash__ = None  # mutable value type, like the dataclass it replaces
+
+    def __repr__(self) -> str:
+        state = "lazy" if self._best is None else f"ases={len(self._best)}"
+        return (
+            f"PropagationOutcome(prefix={self.prefix!r}, origin={self.origin}, "
+            f"rounds={self.rounds}, {state})"
+        )
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "prefix": self.prefix,
+            "origin": self.origin,
+            "best": self.best,  # forces materialisation before pickling
+            "adj_rib_in": self.adj_rib_in,
+            "adoption_round": self.adoption_round,
+            "rounds": self.rounds,
+            "best_keys": self.best_keys,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.prefix = state["prefix"]
+        self.origin = state["origin"]
+        self._best = state["best"]
+        self._adj_rib_in = state["adj_rib_in"]
+        self.adoption_round = state["adoption_round"]
+        self.rounds = state["rounds"]
+        self._best_keys = state["best_keys"]
+        self._emit = None
+        self.compiled_state = None
 
     def path_of(self, asn: int) -> tuple[int, ...] | None:
         """The AS-PATH ``asn`` uses towards the prefix (``None`` if unreachable)."""
@@ -114,12 +241,19 @@ class PropagationOutcome:
         return result
 
     def clone(self) -> "PropagationOutcome":
-        """Deep-enough copy for use as a warm start."""
+        """Copy for use as a warm start.
+
+        The outer maps are copied, but the per-AS Adj-RIB-in maps are
+        *shared* with this outcome: the engine copies an inner map the
+        first time it writes to it (copy-on-write), so an attack onset
+        pays for the ASes it actually perturbs instead of rebuilding
+        the whole topology's RIB state per clone.
+        """
         return PropagationOutcome(
             prefix=self.prefix,
             origin=self.origin,
             best=dict(self.best),
-            adj_rib_in={asn: dict(offers) for asn, offers in self.adj_rib_in.items()},
+            adj_rib_in=dict(self.adj_rib_in),
             adoption_round=dict(self.adoption_round),
             rounds=self.rounds,
             best_keys=dict(self.best_keys) if self.best_keys is not None else None,
@@ -134,12 +268,18 @@ class PropagationEngine:
     prepending schedules, attackers) against the same topology.
     """
 
+    #: distinct origins whose intern tables are kept alive by the
+    #: engine itself; outcomes pin their own table, so eviction only
+    #: bounds the engine's working set, never correctness.
+    _TABLE_LRU = 32
+
     def __init__(
         self,
         graph: ASGraph,
         *,
         max_activations: int = 50,
         metrics: RunMetrics | None = None,
+        backend: str = "compiled",
     ) -> None:
         """``max_activations`` bounds the worklist to that many
         activations *per AS* before :class:`ConvergenceError` is raised
@@ -150,26 +290,79 @@ class PropagationEngine:
         (``engine.*`` namespace).  The attribute is public and mutable
         so an existing engine can be instrumented for one run and
         detached afterwards; metrics never influence routing results.
+
+        ``backend`` selects the propagation implementation:
+        ``"compiled"`` (the default) runs on the dense-array core of
+        :mod:`repro.bgp.compiled`; ``"reference"`` runs the
+        dict-of-tuples interpreter in this module.  The two are
+        bit-identical on every outcome field — the compiled-vs-
+        reference differential suite pins that — so the switch is purely
+        a speed/debuggability trade.
         """
         if max_activations < 1:
             raise SimulationError("max_activations must be positive")
-        self._graph = graph
+        if backend not in ("compiled", "reference"):
+            raise SimulationError(
+                f"backend must be 'compiled' or 'reference', got {backend!r}"
+            )
+        self._graph: ASGraph | None = graph
         self._max_activations = max_activations
         self.metrics = metrics
-        # Pre-compiled adjacency: for each AS, a tuple of entries
-        # (neighbor, role-of-neighbor-relative-to-AS,
-        #  pref-of-routes-from-neighbor, pref-the-neighbor-assigns,
-        #  always_export, is_sibling) — everything the hot announcement
-        # loop would otherwise recompute per offer.  ``for_relationship``
-        # rejects unrelated pairs, so every compiled role is a real
-        # relationship.
+        self._backend = backend
         self._adjacency: dict[
+            int,
+            tuple[tuple[int, Relationship, PrefClass, PrefClass, bool, bool], ...],
+        ] | None = None
+        self._topo: CompiledTopology | None = None
+        self._tables: OrderedDict[int, InternTable] = OrderedDict()
+        if backend == "compiled":
+            self._topo = CompiledTopology.from_graph(graph)
+        else:
+            self._build_adjacency()
+
+    @classmethod
+    def from_compiled(
+        cls,
+        topo: CompiledTopology,
+        *,
+        max_activations: int = 50,
+        metrics: RunMetrics | None = None,
+    ) -> "PropagationEngine":
+        """An engine over pre-compiled arrays, without an ASGraph.
+
+        This is the pool-worker bootstrap path: the runner ships
+        :class:`CompiledTopology` buffers through shared memory and the
+        worker builds its engine directly from them.  ``graph`` is
+        materialised lazily (only detection/collector code needs it).
+        """
+        engine = cls.__new__(cls)
+        if max_activations < 1:
+            raise SimulationError("max_activations must be positive")
+        engine._graph = None
+        engine._max_activations = max_activations
+        engine.metrics = metrics
+        engine._backend = "compiled"
+        engine._adjacency = None
+        engine._topo = topo
+        engine._tables = OrderedDict()
+        return engine
+
+    def _build_adjacency(self) -> None:
+        # Pre-compiled adjacency for the reference backend: for each
+        # AS, a tuple of entries (neighbor,
+        #  role-of-neighbor-relative-to-AS, pref-of-routes-from-neighbor,
+        #  pref-the-neighbor-assigns, always_export, is_sibling) —
+        # everything the hot announcement loop would otherwise recompute
+        # per offer.  ``for_relationship`` rejects unrelated pairs, so
+        # every compiled role is a real relationship.
+        graph = self.graph
+        adjacency: dict[
             int,
             tuple[tuple[int, Relationship, PrefClass, PrefClass, bool, bool], ...],
         ] = {}
         for asn in graph:
             entries = []
-            for neighbor in sorted(graph.neighbors_of(asn)):
+            for neighbor in graph.sorted_neighbors(asn):
                 role = graph.relationship(asn, neighbor)
                 entries.append(
                     (
@@ -185,15 +378,44 @@ class PropagationEngine:
                         role is Relationship.SIBLING,
                     )
                 )
-            self._adjacency[asn] = tuple(entries)
+            adjacency[asn] = tuple(entries)
+        self._adjacency = adjacency
 
     @property
     def graph(self) -> ASGraph:
+        if self._graph is None:
+            self._graph = self._topo.to_asgraph()
         return self._graph
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     @property
     def max_activations(self) -> int:
         return self._max_activations
+
+    def _contains(self, asn: int) -> bool:
+        if self._topo is not None:
+            return asn in self._topo.index
+        return asn in self._adjacency
+
+    def _table_for(self, origin: int) -> InternTable:
+        """The intern table for propagations originated at ``origin``.
+
+        Tables are per-origin so a campaign over many victims does not
+        accumulate every victim's path population in one table; the LRU
+        only drops the engine's reference — outcomes keep their table
+        alive through their attached :class:`CompiledState`.
+        """
+        table = self._tables.get(origin)
+        if table is None:
+            table = InternTable(self._topo)
+            self._tables[origin] = table
+        self._tables.move_to_end(origin)
+        while len(self._tables) > self._TABLE_LRU:
+            self._tables.popitem(last=False)
+        return table
 
     # ------------------------------------------------------------------
     def propagate(
@@ -243,7 +465,7 @@ class PropagationEngine:
         invariant suite diffs the two modes, and benchmarks use the
         reference mode to time the pre-fast-path cost model.
         """
-        if origin not in self._adjacency:
+        if not self._contains(origin):
             raise UnknownASError(origin)
         if activation not in ("fifo", "lifo", "random"):
             raise SimulationError(
@@ -256,18 +478,15 @@ class PropagationEngine:
         export_policy = export_policy or ExportPolicy()
         import_filters = dict(import_filters or {})
         for asn in modifiers:
-            if asn not in self._adjacency:
+            if not self._contains(asn):
                 raise UnknownASError(asn)
 
+        seed: set[int] | None = None
         if warm_start is not None:
             if warm_start.origin != origin or warm_start.prefix != prefix:
                 raise SimulationError(
                     "warm start must come from the same origin and prefix"
                 )
-            state = warm_start.clone()
-            best = state.best
-            adj_rib_in = state.adj_rib_in
-            adoption: dict[int, int] = {}
             if seed_ases is None:
                 seed = set(modifiers) | set(export_policy.violators)
             else:
@@ -276,11 +495,52 @@ class PropagationEngine:
                 raise SimulationError(
                     "warm start requires seed ASes (modifiers, violators, or explicit)"
                 )
+
+        if self._backend == "compiled":
+            # An outcome already carrying compiled state over this
+            # topology brings its own intern table (the cache's derived
+            # baselines share the canonical run's table); otherwise the
+            # engine keeps one table per origin.
+            state = warm_start.compiled_state if warm_start is not None else None
+            if (
+                isinstance(state, CompiledState)
+                and state.table.topo is self._topo
+            ):
+                table = state.table
+            else:
+                table = self._table_for(origin)
+            return run_compiled(
+                self._topo,
+                table,
+                origin=origin,
+                prefix=prefix,
+                prepending=prepending,
+                modifiers=modifiers,
+                export_policy=export_policy,
+                import_filters=import_filters,
+                warm_start=warm_start,
+                seed=seed,
+                activation=activation,
+                activation_rng=activation_rng,
+                incremental=incremental,
+                max_activations=self._max_activations,
+                metrics=self.metrics,
+            )
+
+        if warm_start is not None:
+            state = warm_start.clone()
+            best = state.best
+            adj_rib_in = state.adj_rib_in
+            # The clone shares the warm start's inner Adj-RIB-in maps;
+            # each one is copied right before its first write below.
+            shared_ribs: set[int] | None = set(adj_rib_in)
+            adoption: dict[int, int] = {}
             initial = sorted(seed)
         else:
             best = {asn: None for asn in self._adjacency}
             best[origin] = Route(prefix, (), None, PrefClass.ORIGIN)
             adj_rib_in = {asn: {} for asn in self._adjacency}
+            shared_ribs = None
             adoption = {origin: 0}
             initial = [origin]
 
@@ -387,6 +647,11 @@ class PropagationEngine:
                 rib = adj_rib_in[neighbor]
                 if rib.get(sender) == offer:
                     continue
+                if shared_ribs is not None and neighbor in shared_ribs:
+                    # First write to a warm-start-shared map: copy it now
+                    # so the baseline outcome stays pristine.
+                    rib = adj_rib_in[neighbor] = dict(rib)
+                    shared_ribs.discard(neighbor)
                 rib[sender] = offer
                 if neighbor == origin:
                     continue  # the owner always keeps its own route

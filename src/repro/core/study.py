@@ -270,6 +270,7 @@ class InterceptionStudy:
             monitors=self._monitors,
             max_activations=self._engine.max_activations,
             metrics_enabled=enabled,
+            backend=self._engine.backend,
         )
         if resolve_workers(workers) == 1:
             prev_engine_metrics = self._engine.metrics

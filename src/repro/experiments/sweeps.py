@@ -51,6 +51,7 @@ def _run_tasks(
         engine.graph,
         max_activations=engine.max_activations,
         metrics_enabled=enabled,
+        backend=engine.backend,
     )
     if resolve_workers(workers) == 1:
         prev_engine_metrics = engine.metrics

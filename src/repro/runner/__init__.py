@@ -23,6 +23,11 @@ from repro.runner.executor import (
     resolve_workers,
 )
 from repro.runner.sampling import sample_attack_pairs
+from repro.runner.shm import (
+    SharedTopologyHandle,
+    attach_topology,
+    publish_topology,
+)
 from repro.runner.tasks import (
     CampaignPairTask,
     SweepPointResult,
@@ -34,12 +39,15 @@ from repro.runner.tasks import (
 __all__ = [
     "BaselineCache",
     "CampaignPairTask",
+    "SharedTopologyHandle",
     "SweepExecutor",
     "SweepPointResult",
     "SweepPointTask",
     "WorkerContext",
     "WorkerSpec",
+    "attach_topology",
     "available_cpus",
+    "publish_topology",
     "derive_uniform_baseline",
     "derive_uniform_family",
     "execute_task",

@@ -41,6 +41,56 @@ from repro.telemetry.metrics import RunMetrics
 __all__ = ["BaselineCache", "derive_uniform_baseline", "derive_uniform_family"]
 
 
+def _uniform_rewrite_emit(canonical: PropagationOutcome, victim: int, padding: int):
+    """The deferred tuple-space derivation for one ``λ = padding``.
+
+    Derived baselines are consumed almost exclusively through their
+    compiled state (warm starts, pollution masks), so the tuple maps
+    are materialised lazily: this closure runs on first access to the
+    derived outcome's ``best``/``adj_rib_in``.
+    """
+
+    def emit(out: PropagationOutcome) -> None:
+        run = (victim,) * padding
+        delta = padding - 1
+        prefix = canonical.prefix
+        # Carried preference keys just shift in the length component;
+        # fall back to recomputing when the canonical outcome doesn't
+        # carry them.
+        keys = canonical.best_keys
+        if keys is None:
+            keys = {
+                asn: (None if route is None else preference_key(route))
+                for asn, route in canonical.best.items()
+            }
+        best: dict[int, Route | None] = {}
+        best_keys: dict[int, tuple[int, int, int] | None] = {}
+        for asn, route in canonical.best.items():
+            key = keys[asn]
+            if route is None:
+                best[asn] = None
+                best_keys[asn] = None
+                continue
+            path = route.path
+            if not path:
+                # The victim's own route has an empty path: nothing to pad.
+                best[asn] = route
+                best_keys[asn] = key
+                continue
+            best[asn] = Route(prefix, path[:-1] + run, route.learned_from, route.pref)
+            best_keys[asn] = (key[0], key[1] + delta, key[2])
+        adj_rib_in = {
+            asn: {
+                neighbor: (None if offer is None else (offer[0][:-1] + run, offer[1]))
+                for neighbor, offer in offers.items()
+            }
+            for asn, offers in canonical.adj_rib_in.items()
+        }
+        out._set_materialised(best, adj_rib_in, best_keys)
+
+    return emit
+
+
 def derive_uniform_baseline(
     canonical: PropagationOutcome, victim: int, padding: int
 ) -> PropagationOutcome:
@@ -50,7 +100,10 @@ def derive_uniform_baseline(
     Every AS-PATH in a uniform-origin baseline ends with the victim's
     padded run; the derived outcome rewrites that run to ``padding``
     copies and leaves everything else — including the adoption rounds,
-    which count propagation hops and are λ-invariant — untouched.
+    which count propagation hops and are λ-invariant — untouched.  The
+    tuple rewrite is deferred (see :func:`_uniform_rewrite_emit`); the
+    compiled-state rewrite happens eagerly because warm starts load it
+    immediately.
     """
     if canonical.origin != victim:
         raise SimulationError(
@@ -60,60 +113,32 @@ def derive_uniform_baseline(
         raise SimulationError("origin padding must be >= 1")
     if padding == 1:
         return canonical
-    run = (victim,) * padding
-    delta = padding - 1
-    prefix = canonical.prefix
-    # Carried preference keys just shift in the length component; fall
-    # back to recomputing when the canonical outcome doesn't carry them.
-    keys = canonical.best_keys
-    if keys is None:
-        keys = {
-            asn: (None if route is None else preference_key(route))
-            for asn, route in canonical.best.items()
-        }
-    best: dict[int, Route | None] = {}
-    best_keys: dict[int, tuple[int, int, int] | None] = {}
-    for asn, route in canonical.best.items():
-        key = keys[asn]
-        if route is None:
-            best[asn] = None
-            best_keys[asn] = None
-            continue
-        path = route.path
-        if not path:
-            # The victim's own route has an empty path: nothing to pad.
-            best[asn] = route
-            best_keys[asn] = key
-            continue
-        best[asn] = Route(prefix, path[:-1] + run, route.learned_from, route.pref)
-        best_keys[asn] = (key[0], key[1] + delta, key[2])
-    adj_rib_in = {
-        asn: {
-            neighbor: (None if offer is None else (offer[0][:-1] + run, offer[1]))
-            for neighbor, offer in offers.items()
-        }
-        for asn, offers in canonical.adj_rib_in.items()
-    }
-    return PropagationOutcome(
+    outcome = PropagationOutcome(
         prefix=canonical.prefix,
         origin=victim,
-        best=best,
-        adj_rib_in=adj_rib_in,
         adoption_round=dict(canonical.adoption_round),
         rounds=canonical.rounds,
-        best_keys=best_keys,
+        emit=_uniform_rewrite_emit(canonical, victim, padding),
     )
+    # A compiled canonical outcome begets compiled derived outcomes:
+    # the same rewrite in (index, intern-id) space, so warm-starting
+    # the attack from this baseline stays on the fast load path.
+    if canonical.compiled_state is not None:
+        outcome.compiled_state = canonical.compiled_state.derive_uniform(
+            victim, padding
+        )
+    return outcome
 
 
 def derive_uniform_family(
     canonical: PropagationOutcome, victim: int, paddings: Iterable[int]
 ) -> dict[int, PropagationOutcome]:
-    """Derive the baselines for several uniform paddings in one pass.
+    """Derive the baselines for several uniform paddings at once.
 
-    Produces exactly ``{p: derive_uniform_baseline(canonical, victim, p)}``
-    but walks the canonical outcome once, sharing the per-route
-    iteration and attribute-access overhead across the whole λ family —
-    the λ-sweep fast path.
+    Produces exactly ``{p: derive_uniform_baseline(canonical, victim, p)}``.
+    Since the tuple rewrite is deferred per outcome, the family costs
+    one compiled-state rewrite per λ up front and nothing in tuple
+    space until (unless) a consumer touches a derived outcome's maps.
     """
     if canonical.origin != victim:
         raise SimulationError(
@@ -122,67 +147,10 @@ def derive_uniform_family(
     targets = sorted({int(p) for p in paddings})
     if targets and targets[0] < 1:
         raise SimulationError("origin padding must be >= 1")
-    derived = [p for p in targets if p > 1]
     outcomes: dict[int, PropagationOutcome] = {}
-    if 1 in targets:
-        outcomes[1] = canonical
-    if not derived:
-        return outcomes
-    prefix = canonical.prefix
-    keys = canonical.best_keys
-    if keys is None:
-        keys = {
-            asn: (None if route is None else preference_key(route))
-            for asn, route in canonical.best.items()
-        }
-    runs = {p: (victim,) * p for p in derived}
-    bests: dict[int, dict[int, Route | None]] = {p: {} for p in derived}
-    best_keys: dict[int, dict[int, tuple[int, int, int] | None]] = {
-        p: {} for p in derived
-    }
-    for asn, route in canonical.best.items():
-        key = keys[asn]
-        if route is None:
-            for p in derived:
-                bests[p][asn] = None
-                best_keys[p][asn] = None
-            continue
-        path = route.path
-        if not path:
-            for p in derived:
-                bests[p][asn] = route
-                best_keys[p][asn] = key
-            continue
-        stem = path[:-1]
-        learned_from = route.learned_from
-        pref = route.pref
-        k0, k1, k2 = key
-        for p in derived:
-            bests[p][asn] = Route(prefix, stem + runs[p], learned_from, pref)
-            best_keys[p][asn] = (k0, k1 + p - 1, k2)
-    ribs: dict[int, dict[int, dict[int, tuple | None]]] = {p: {} for p in derived}
-    for asn, offers in canonical.adj_rib_in.items():
-        per_p: dict[int, dict[int, tuple | None]] = {p: {} for p in derived}
-        for neighbor, offer in offers.items():
-            if offer is None:
-                for p in derived:
-                    per_p[p][neighbor] = None
-            else:
-                stem = offer[0][:-1]
-                pref = offer[1]
-                for p in derived:
-                    per_p[p][neighbor] = (stem + runs[p], pref)
-        for p in derived:
-            ribs[p][asn] = per_p[p]
-    for p in derived:
-        outcomes[p] = PropagationOutcome(
-            prefix=prefix,
-            origin=victim,
-            best=bests[p],
-            adj_rib_in=ribs[p],
-            adoption_round=dict(canonical.adoption_round),
-            rounds=canonical.rounds,
-            best_keys=best_keys[p],
+    for p in targets:
+        outcomes[p] = (
+            canonical if p == 1 else derive_uniform_baseline(canonical, victim, p)
         )
     return outcomes
 

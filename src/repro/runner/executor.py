@@ -16,14 +16,17 @@ in-process against a single shared context without any pool at all.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
+from repro.bgp.compiled import CompiledTopology
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import SimulationError
+from repro.runner.shm import publish_topology
 from repro.runner.tasks import WorkerContext, WorkerSpec
 from repro.telemetry.metrics import RunMetrics
 
@@ -64,7 +67,7 @@ _CONTEXT: WorkerContext | None = None
 
 def _init_worker(spec: WorkerSpec) -> None:
     global _CONTEXT
-    _CONTEXT = WorkerContext(spec)
+    _CONTEXT = WorkerContext(spec, in_pool_worker=True)
 
 
 def execute_task(task: Any, ctx: WorkerContext, worker_label: str = "serial") -> Any:
@@ -128,6 +131,7 @@ class SweepExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._context: WorkerContext | None = None
         self._pool_metrics: RunMetrics | None = None
+        self._shm_segment = None
         if self.workers == 1:
             self._context = WorkerContext(spec, engine=engine, metrics=metrics)
         elif spec.metrics_enabled:
@@ -168,12 +172,39 @@ class SweepExecutor:
     def map(self, tasks: Iterable[Any]) -> list[Any]:
         return self.run(list(tasks))
 
+    def _pool_spec(self) -> WorkerSpec:
+        """The spec actually shipped to pool workers.
+
+        For the compiled backend the parent compiles the topology once,
+        publishes the CSR payload into shared memory, and replaces the
+        pickled graph with the segment handle — workers bootstrap their
+        engines without ever unpickling an :class:`ASGraph`.  If shared
+        memory is unavailable (no ``/dev/shm``, permissions, size
+        limits) the original graph-pickling spec is used unchanged.
+        """
+        spec = self.spec
+        if spec.backend != "compiled" or spec.graph is None:
+            return spec
+        if spec.shared_topology is not None:
+            return spec
+        try:
+            topo = CompiledTopology.from_graph(spec.graph)
+            self._shm_segment, handle = publish_topology(topo)
+        except (OSError, ValueError):
+            if self._pool_metrics is not None:
+                self._pool_metrics.count("runner.shm.fallbacks")
+            return spec
+        if self._pool_metrics is not None:
+            self._pool_metrics.count("runner.shm.publishes")
+            self._pool_metrics.count("runner.shm.published_bytes", handle.size)
+        return dataclasses.replace(spec, graph=None, shared_topology=handle)
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self.spec,),
+                initargs=(self._pool_spec(),),
             )
         return self._pool
 
@@ -181,6 +212,13 @@ class SweepExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._shm_segment is not None:
+            segment, self._shm_segment = self._shm_segment, None
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
 
     def __enter__(self) -> "SweepExecutor":
         return self

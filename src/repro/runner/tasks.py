@@ -22,6 +22,7 @@ from repro.detection.detector import ASPPInterceptionDetector
 from repro.detection.timing import DetectionTiming, detection_timing
 from repro.exceptions import SimulationError
 from repro.runner.cache import BaselineCache
+from repro.runner.shm import SharedTopologyHandle, attach_topology
 from repro.telemetry.metrics import RunMetrics
 from repro.topology.asgraph import ASGraph
 
@@ -39,12 +40,14 @@ class WorkerSpec:
     """Everything a worker needs to rebuild its execution context.
 
     The spec is shipped to each worker exactly once (as pool
-    initializer arguments), so the topology is pickled per worker, not
-    per task, and the engine's adjacency tables are compiled once per
-    worker process.
+    initializer arguments).  The topology travels either as a pickled
+    :class:`ASGraph` (``graph``) or — the compiled-backend pool path —
+    as a :class:`~repro.runner.shm.SharedTopologyHandle` naming a
+    shared-memory segment the parent published, so the graph is never
+    pickled per worker at all.
     """
 
-    graph: ASGraph
+    graph: ASGraph | None
     #: monitor fleet for tasks that run detection; ``None`` when the
     #: workload is pure propagation (λ-sweeps).
     monitors: tuple[int, ...] | None = None
@@ -54,6 +57,11 @@ class WorkerSpec:
     #: into its engine, cache and detection pipeline, and ships a
     #: metrics delta back with every task result.
     metrics_enabled: bool = False
+    #: which propagation backend worker engines are built with.
+    backend: str = "compiled"
+    #: shared-memory handle to a published compiled topology; workers
+    #: attach to it instead of unpickling ``graph``.
+    shared_topology: SharedTopologyHandle | None = None
 
 
 class WorkerContext:
@@ -66,18 +74,8 @@ class WorkerContext:
         engine: PropagationEngine | None = None,
         cache: BaselineCache | None = None,
         metrics: RunMetrics | None = None,
+        in_pool_worker: bool = False,
     ) -> None:
-        self.graph = spec.graph
-        self.engine = engine if engine is not None else PropagationEngine(
-            spec.graph, max_activations=spec.max_activations
-        )
-        if cache is not None and cache.engine is not self.engine:
-            raise SimulationError("shared cache must belong to this context's engine")
-        self.cache = (
-            cache
-            if cache is not None
-            else BaselineCache(self.engine, max_entries=spec.cache_entries)
-        )
         # ``metrics`` lets the serial path record straight into the
         # caller's registry; pool workers build their own per-process
         # one from the spec.  When enabled, the context wires the
@@ -87,12 +85,54 @@ class WorkerContext:
         self.metrics = metrics if metrics is not None else RunMetrics(
             enabled=spec.metrics_enabled
         )
-        if self.metrics.enabled:
+        track = self.metrics.enabled
+        if engine is not None:
+            self.engine = engine
+        elif spec.shared_topology is not None:
+            # Pool-worker bootstrap from shared memory: attach, copy,
+            # build the engine straight on the compiled arrays.
+            topo = attach_topology(spec.shared_topology)
+            self.engine = PropagationEngine.from_compiled(
+                topo, max_activations=spec.max_activations
+            )
+            if track:
+                self.metrics.count("runner.shm.bootstraps")
+                self.metrics.count(
+                    "runner.shm.attached_bytes", spec.shared_topology.size
+                )
+        elif spec.graph is not None:
+            self.engine = PropagationEngine(
+                spec.graph,
+                max_activations=spec.max_activations,
+                backend=spec.backend,
+            )
+            if track and in_pool_worker:
+                # A pool worker rebuilding its engine from a pickled
+                # graph means the shared-memory path was not taken.
+                self.metrics.count("runner.shm.graph_pickles")
+        else:
+            raise SimulationError(
+                "WorkerSpec carries neither a graph nor a shared topology"
+            )
+        if cache is not None and cache.engine is not self.engine:
+            raise SimulationError("shared cache must belong to this context's engine")
+        self.cache = (
+            cache
+            if cache is not None
+            else BaselineCache(self.engine, max_entries=spec.cache_entries)
+        )
+        if track:
             self.engine.metrics = self.metrics
             self.cache.metrics = self.metrics
         self._monitors = spec.monitors
         self._collector: RouteCollector | None = None
         self._detector: ASPPInterceptionDetector | None = None
+
+    @property
+    def graph(self) -> ASGraph:
+        """The topology (materialised from the compiled arrays when the
+        worker was bootstrapped through shared memory)."""
+        return self.engine.graph
 
     @property
     def collector(self) -> RouteCollector:

@@ -44,8 +44,13 @@ __all__ = ["CACHE_SHAPE_PREFIXES", "Counter", "Timer", "Histogram", "RunMetrics"
 #: done during those cold (non-warm-started) convergences legitimately
 #: grow with the worker count.  They are real, useful telemetry (they
 #: quantify duplicated baseline work), but they are excluded from
-#: serial-vs-pooled determinism comparisons.
-CACHE_SHAPE_PREFIXES = ("cache.", "engine.cold.")
+#: serial-vs-pooled determinism comparisons.  The compiled backend's
+#: interning counters (``engine.compiled.*`` — hit rates depend on
+#: which paths a worker's intern tables have already seen) and the
+#: runner's shared-memory bootstrap accounting (``runner.shm.*`` —
+#: per-worker, and absent entirely on the serial path) are cache-shaped
+#: for the same reason.
+CACHE_SHAPE_PREFIXES = ("cache.", "engine.cold.", "engine.compiled.", "runner.shm.")
 
 
 @dataclass

@@ -36,6 +36,10 @@ class ASGraph:
         self._peers: dict[int, set[int]] = {}
         self._siblings: dict[int, set[int]] = {}
         self._edge_count = 0
+        # Memo of sorted neighbour tuples, shared by every propagation
+        # engine compiled over this graph (each engine used to rebuild
+        # the same sorted lists).  Invalidated per-AS on mutation.
+        self._sorted_neighbors: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -71,6 +75,7 @@ class ASGraph:
         self._customers[provider].add(customer)
         self._providers[customer].add(provider)
         self._edge_count += 1
+        self._invalidate_neighbors(provider, customer)
 
     def add_p2p(self, a: int, b: int) -> None:
         """Add a settlement-free peering edge between ``a`` and ``b``."""
@@ -80,6 +85,7 @@ class ASGraph:
         self._peers[a].add(b)
         self._peers[b].add(a)
         self._edge_count += 1
+        self._invalidate_neighbors(a, b)
 
     def add_s2s(self, a: int, b: int) -> None:
         """Add a sibling edge (two ASes of one organisation)."""
@@ -89,6 +95,7 @@ class ASGraph:
         self._siblings[a].add(b)
         self._siblings[b].add(a)
         self._edge_count += 1
+        self._invalidate_neighbors(a, b)
 
     def add_edge(self, a: int, b: int, relationship: Relationship) -> None:
         """Add an edge with ``relationship`` being *b's role relative to a*."""
@@ -121,6 +128,7 @@ class ASGraph:
             self._siblings[a].discard(b)
             self._siblings[b].discard(a)
         self._edge_count -= 1
+        self._invalidate_neighbors(a, b)
 
     # ------------------------------------------------------------------
     # Queries
@@ -176,6 +184,31 @@ class ASGraph:
             | self._peers[asn]
             | self._siblings[asn]
         )
+
+    def _invalidate_neighbors(self, a: int, b: int) -> None:
+        self._sorted_neighbors.pop(a, None)
+        self._sorted_neighbors.pop(b, None)
+
+    def sorted_neighbors(self, asn: int) -> tuple[int, ...]:
+        """All neighbours of ``asn`` as a sorted tuple (memoised).
+
+        Propagation engines iterate neighbours in ascending-ASN order;
+        both the reference and the compiled backend build their
+        adjacency from this memo instead of re-sorting per engine.
+        """
+        cached = self._sorted_neighbors.get(asn)
+        if cached is None:
+            self._require(asn)
+            cached = tuple(
+                sorted(
+                    self._providers[asn]
+                    | self._customers[asn]
+                    | self._peers[asn]
+                    | self._siblings[asn]
+                )
+            )
+            self._sorted_neighbors[asn] = cached
+        return cached
 
     def degree(self, asn: int) -> int:
         """Total number of AS-level links incident to ``asn``."""

@@ -1,0 +1,241 @@
+"""Compiled-vs-reference backend differentials.
+
+The compiled dense-array core (:mod:`repro.bgp.compiled`) must be
+bit-identical to the reference engine on every outcome field — ``best``
+routes, Adj-RIBs-in (including the absent-offer vs explicit-``None``
+withdrawal distinction), adoption-round stamps and convergence rounds —
+across random topologies, attack warm starts, activation orders and
+import filters.  These tests are the oracle for that claim.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.compiled import CompiledTopology, InternTable
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+TINY = InternetTopologyConfig(
+    num_tier1=3,
+    num_tier2=5,
+    num_tier3=10,
+    num_tier4=8,
+    num_stubs=25,
+    num_content=2,
+    sibling_pairs=2,
+)
+
+
+def _engines(seed):
+    rng = random.Random(seed)
+    world = generate_internet_topology(TINY, rng)
+    graph = world.graph
+    return (
+        world,
+        rng,
+        PropagationEngine(graph, backend="reference"),
+        PropagationEngine(graph, backend="compiled"),
+    )
+
+
+def _assert_outcomes_identical(ref, cmp):
+    assert ref == cmp  # prefix, origin, rounds, adoption_round, best, adj_rib_in
+    assert ref.best_keys == cmp.best_keys
+    # Dict iteration order is part of the emission contract (reports and
+    # serialised artefacts walk these maps).
+    assert list(ref.best) == list(cmp.best)
+    assert list(ref.adj_rib_in) == list(cmp.adj_rib_in)
+
+
+class TestColdDifferential:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6), padding=st.integers(1, 5))
+    def test_cold_propagation_identical(self, seed, padding):
+        world, rng, ref_engine, cmp_engine = _engines(seed)
+        origin = rng.choice(world.graph.ases)
+        prepending = PrependingPolicy.uniform_origin(origin, padding)
+        ref = ref_engine.propagate(origin, prepending=prepending)
+        cmp = cmp_engine.propagate(origin, prepending=prepending)
+        _assert_outcomes_identical(ref, cmp)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_per_neighbor_schedule_identical(self, seed):
+        """Non-uniform prepending exercises the per-count offer memo."""
+        world, rng, ref_engine, cmp_engine = _engines(seed)
+        graph = world.graph
+        origin = rng.choice([a for a in graph.ases if len(graph.neighbors_of(a)) >= 2])
+        prepending = PrependingPolicy()
+        for i, neighbor in enumerate(sorted(graph.neighbors_of(origin))):
+            prepending.set_padding(origin, neighbor, 1 + (i % 3))
+        ref = ref_engine.propagate(origin, prepending=prepending)
+        cmp = cmp_engine.propagate(origin, prepending=prepending)
+        _assert_outcomes_identical(ref, cmp)
+
+
+class TestAttackDifferential:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        padding=st.integers(1, 5),
+        violate=st.booleans(),
+    )
+    def test_warm_started_attack_identical(self, seed, padding, violate):
+        """The full sweep-point pipeline — baseline, warm-started attack,
+        pollution report — is backend-invariant, including the rib
+        entries the attack withdrew (explicit ``None``) vs never made."""
+        world, rng, ref_engine, cmp_engine = _engines(seed)
+        victim = rng.choice(world.graph.ases)
+        attacker = rng.choice([a for a in world.transit_ases if a != victim])
+        results = []
+        for engine in (ref_engine, cmp_engine):
+            results.append(
+                simulate_interception(
+                    engine,
+                    victim=victim,
+                    attacker=attacker,
+                    origin_padding=padding,
+                    violate_policy=violate,
+                )
+            )
+        ref, cmp = results
+        _assert_outcomes_identical(ref.baseline, cmp.baseline)
+        _assert_outcomes_identical(ref.attacked, cmp.attacked)
+        assert ref.report == cmp.report
+        assert ref.attacker_has_route == cmp.attacker_has_route
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_import_filters_identical(self, seed):
+        """Receiver-side vetting forces the full-rescan decision path in
+        both backends; the compiled one must reify the offered path for
+        the filter exactly as the reference passes it."""
+        world, rng, ref_engine, cmp_engine = _engines(seed)
+        graph = world.graph
+        origin = rng.choice(graph.ases)
+        guarded = rng.sample(graph.ases, k=min(5, len(graph.ases)))
+        filters = {
+            asn: (lambda sender, path: len(path) <= 4) for asn in guarded
+        }
+        ref = ref_engine.propagate(origin, import_filters=filters)
+        cmp = cmp_engine.propagate(origin, import_filters=filters)
+        _assert_outcomes_identical(ref, cmp)
+
+
+class TestActivationOrders:
+    @pytest.mark.parametrize("activation", ["fifo", "lifo", "random"])
+    def test_each_order_identical_across_backends(self, activation):
+        """Identical activation traces (same rng seed) must yield
+        identical adoption stamps, not just identical best routes."""
+        world, rng, ref_engine, cmp_engine = _engines(1234)
+        origin = world.stubs[0]
+        ref = ref_engine.propagate(
+            origin, activation=activation, activation_rng=random.Random(99)
+        )
+        cmp = cmp_engine.propagate(
+            origin, activation=activation, activation_rng=random.Random(99)
+        )
+        _assert_outcomes_identical(ref, cmp)
+
+    def test_non_incremental_mode_identical(self):
+        world, rng, ref_engine, cmp_engine = _engines(77)
+        origin = world.tier2[0]
+        ref = ref_engine.propagate(origin, incremental=False)
+        cmp = cmp_engine.propagate(origin, incremental=False)
+        _assert_outcomes_identical(ref, cmp)
+
+
+class TestInternTable:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        path=st.lists(st.integers(1, 8), min_size=0, max_size=12).map(tuple)
+    )
+    def test_intern_reify_round_trips(self, path):
+        graph_world = generate_internet_topology(TINY, random.Random(3))
+        topo = CompiledTopology.from_graph(graph_world.graph)
+        table = InternTable(topo)
+        pid = table.intern_tuple(path)
+        assert table.reify(pid) == path
+
+    def test_equal_paths_intern_to_equal_ids(self):
+        """Canonical run-merging: a path built hop by hop and the same
+        path interned as a tuple share one id — the property that lets
+        the engine compare paths by id."""
+        world = generate_internet_topology(TINY, random.Random(3))
+        topo = CompiledTopology.from_graph(world.graph)
+        table = InternTable(topo)
+        a, b, c = 0, 1, 2
+        # (b, b, a) built as extend(extend(a), b run 2) vs one-at-a-time.
+        base = table.extend(0, a, 1)
+        merged = table.extend(base, b, 2)
+        stepwise = table.extend(table.extend(base, b, 1), b, 1)
+        assert merged == stepwise
+        tupled = table.intern_tuple(table.reify(merged))
+        assert tupled == merged
+        assert table.length[merged] == 3
+        # Mask covers exactly the members.
+        assert table.mask[merged] == (1 << a) | (1 << b)
+        assert not table.mask[merged] & (1 << c)
+
+    def test_off_topology_asns_get_synthetic_indices(self):
+        world = generate_internet_topology(TINY, random.Random(3))
+        topo = CompiledTopology.from_graph(world.graph)
+        table = InternTable(topo)
+        foreign = max(world.graph.ases) + 1000
+        pid = table.intern_tuple((foreign, world.graph.ases[0]))
+        assert table.reify(pid) == (foreign, world.graph.ases[0])
+        assert table.index_of(foreign) >= topo.n
+
+
+class TestCompiledTopologyTransport:
+    def test_payload_round_trip(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        topo = CompiledTopology.from_graph(world.graph)
+        clone = CompiledTopology.from_payload(topo.to_payload())
+        assert clone.n == topo.n
+        for column in (
+            "asn",
+            "iter_order",
+            "indptr",
+            "nbr",
+            "rev_slot",
+            "inv_pref",
+            "always_export",
+            "is_sibling",
+            "role_code",
+        ):
+            assert getattr(clone, column) == getattr(topo, column), column
+
+    def test_rebuilt_engine_is_bit_identical(self):
+        """An engine bootstrapped from payload bytes (the shared-memory
+        worker path) propagates identically to one built from the graph."""
+        world = generate_internet_topology(TINY, random.Random(5))
+        origin = world.stubs[1]
+        direct = PropagationEngine(world.graph, backend="compiled")
+        rebuilt = PropagationEngine.from_compiled(
+            CompiledTopology.from_payload(
+                CompiledTopology.from_graph(world.graph).to_payload()
+            )
+        )
+        _assert_outcomes_identical(
+            direct.propagate(origin), rebuilt.propagate(origin)
+        )
+
+    def test_to_asgraph_round_trips_topology(self):
+        world = generate_internet_topology(TINY, random.Random(5))
+        graph = world.graph
+        rebuilt = CompiledTopology.from_graph(graph).to_asgraph()
+        assert list(rebuilt) == list(graph)  # insertion order preserved
+        for asn in graph:
+            assert rebuilt.neighbors_of(asn) == graph.neighbors_of(asn)
+            for neighbor in graph.neighbors_of(asn):
+                assert rebuilt.relationship(asn, neighbor) is graph.relationship(
+                    asn, neighbor
+                )

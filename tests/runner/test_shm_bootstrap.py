@@ -1,0 +1,138 @@
+"""Shared-memory worker bootstrap tests.
+
+The compiled-backend pool path must ship the topology to workers as a
+shared-memory CSR payload — never as a pickled :class:`ASGraph` — while
+keeping results bit-identical to the serial path.  The
+``runner.shm.graph_pickles`` counter is the tripwire: any pool worker
+that falls back to unpickling the graph increments it, so these tests
+assert it stays at zero on the happy path and fires exactly when the
+fallback is exercised.
+"""
+
+from __future__ import annotations
+
+from repro.runner import (
+    SweepExecutor,
+    SweepPointTask,
+    WorkerSpec,
+)
+from repro.telemetry.metrics import RunMetrics
+
+PADDINGS = tuple(range(1, 6))
+
+
+def _tasks(world):
+    victim, attacker = world.tier1[0], world.tier1[1]
+    return [
+        SweepPointTask(victim=victim, attacker=attacker, padding=p) for p in PADDINGS
+    ]
+
+
+def _serial_reference(spec, tasks):
+    with SweepExecutor(spec, workers=1, metrics=RunMetrics()) as serial:
+        return serial.run(tasks)
+
+
+def test_pool_workers_bootstrap_from_shared_memory(small_world):
+    spec = WorkerSpec(small_world.graph, metrics_enabled=True)
+    tasks = _tasks(small_world)
+    reference = _serial_reference(spec, tasks)
+
+    metrics = RunMetrics()
+    with SweepExecutor(
+        spec, workers=2, force_processes=True, metrics=metrics
+    ) as pool:
+        results = pool.run(tasks)
+
+    assert results == reference
+    # The parent published the compiled topology exactly once...
+    assert metrics.counter_value("runner.shm.publishes") == 1
+    assert metrics.counter_value("runner.shm.published_bytes") > 0
+    # ...every worker that ran a task bootstrapped by attaching to it...
+    assert metrics.counter_value("runner.shm.bootstraps") >= 1
+    assert metrics.counter_value("runner.shm.attached_bytes") > 0
+    # ...and no worker ever re-pickled the graph.
+    assert metrics.counter_value("runner.shm.graph_pickles") == 0
+    assert metrics.counter_value("runner.shm.fallbacks") == 0
+
+
+def test_shm_failure_falls_back_to_pickled_graph(small_world, monkeypatch):
+    """If shared memory is unavailable the executor ships the original
+    graph-pickling spec; workers still run, results stay identical, and
+    the telemetry records both the fallback and the pickles."""
+    import repro.runner.executor as executor_mod
+
+    def broken_publish(topo):
+        raise OSError("no /dev/shm")
+
+    monkeypatch.setattr(executor_mod, "publish_topology", broken_publish)
+
+    spec = WorkerSpec(small_world.graph, metrics_enabled=True)
+    tasks = _tasks(small_world)
+    reference = _serial_reference(spec, tasks)
+
+    metrics = RunMetrics()
+    with SweepExecutor(
+        spec, workers=2, force_processes=True, metrics=metrics
+    ) as pool:
+        results = pool.run(tasks)
+
+    assert results == reference
+    assert metrics.counter_value("runner.shm.fallbacks") == 1
+    assert metrics.counter_value("runner.shm.publishes") == 0
+    assert metrics.counter_value("runner.shm.bootstraps") == 0
+    # Each pool worker that ran a task paid the pickled-graph bootstrap.
+    assert metrics.counter_value("runner.shm.graph_pickles") >= 1
+
+
+def test_reference_backend_pool_keeps_pickled_graph_path(small_world):
+    """The reference backend has no compiled payload to publish; its
+    spec must travel unchanged (graph intact, no segment created)."""
+    spec = WorkerSpec(small_world.graph, metrics_enabled=True, backend="reference")
+    tasks = _tasks(small_world)
+    reference = _serial_reference(spec, tasks)
+
+    metrics = RunMetrics()
+    with SweepExecutor(
+        spec, workers=2, force_processes=True, metrics=metrics
+    ) as pool:
+        shipped = pool._pool_spec()
+        results = pool.run(tasks)
+
+    assert shipped is spec
+    assert results == reference
+    assert metrics.counter_value("runner.shm.publishes") == 0
+    assert metrics.counter_value("runner.shm.bootstraps") == 0
+
+
+def test_serial_path_never_touches_shared_memory(small_world):
+    """workers=1 runs in-process: no segment, no shm counters at all."""
+    spec = WorkerSpec(small_world.graph, metrics_enabled=True)
+    metrics = RunMetrics()
+    with SweepExecutor(spec, workers=1, metrics=metrics) as serial:
+        serial.run(_tasks(small_world))
+        assert serial._shm_segment is None
+    assert all(not name.startswith("runner.shm.") for name in metrics.counters)
+
+
+def test_deterministic_snapshot_invariant_across_transport(small_world):
+    """The deterministic telemetry snapshot excludes the transport-shaped
+    ``runner.shm.*`` namespace, so serial and shm-pooled runs of the
+    same workload agree on it exactly."""
+    spec = WorkerSpec(small_world.graph, metrics_enabled=True)
+    tasks = _tasks(small_world)
+
+    serial_metrics = RunMetrics()
+    with SweepExecutor(spec, workers=1, metrics=serial_metrics) as serial:
+        serial.run(tasks)
+
+    pool_metrics = RunMetrics()
+    with SweepExecutor(
+        spec, workers=2, force_processes=True, metrics=pool_metrics
+    ) as pool:
+        pool.run(tasks)
+
+    assert (
+        serial_metrics.deterministic_snapshot()
+        == pool_metrics.deterministic_snapshot()
+    )
