@@ -167,6 +167,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="worker processes for the campaign's attack instances",
     )
+    campaign_parser.add_argument(
+        "--resume", type=str, default=None, metavar="PATH",
+        help="checkpoint journal: finished instances append to PATH as "
+        "they land, and re-running with the same PATH skips them — a "
+        "killed campaign resumes instead of restarting",
+    )
+    campaign_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per instance before it is quarantined as a "
+        "structured failure (default 3)",
+    )
+    campaign_parser.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-instance deadline in pool mode: a hung worker is "
+        "killed, the pool respawned, and the instance retried",
+    )
     _add_metrics_flags(campaign_parser)
 
     args = parser.parse_args(argv)
@@ -222,7 +238,16 @@ def _world(args) -> int:
 
 def _campaign(args, metrics: RunMetrics | None = None) -> int:
     from repro.core import InterceptionStudy
+    from repro.runner import RetryPolicy
 
+    retry = None
+    if args.retries is not None or args.task_deadline is not None:
+        policy_overrides = {}
+        if args.retries is not None:
+            policy_overrides["max_attempts"] = args.retries
+        if args.task_deadline is not None:
+            policy_overrides["deadline"] = args.task_deadline
+        retry = RetryPolicy(**policy_overrides)
     study = InterceptionStudy.generate(
         seed=args.seed,
         scale=args.scale,
@@ -234,6 +259,8 @@ def _campaign(args, metrics: RunMetrics | None = None) -> int:
         padding=args.padding,
         workers=args.workers,
         metrics=metrics,
+        resume=args.resume,
+        retry=retry,
     )
     effective = campaign.effective
     print(
@@ -243,6 +270,8 @@ def _campaign(args, metrics: RunMetrics | None = None) -> int:
     print(f"  effective attacks:   {len(effective)}/{args.pairs}")
     print(f"  mean pollution:      {campaign.mean_pollution:.1%}")
     print(f"  detection rate:      {campaign.detection_rate:.1%}")
+    if campaign.failures:
+        print(f"  quarantined:         {len(campaign.failures)}/{args.pairs}")
     _emit_metrics(args, metrics)
     return 0
 

@@ -36,7 +36,11 @@ from repro.measurement.padding_model import PaddingBehaviorModel
 from repro.measurement.ribs import MonitorRIBs, build_monitor_ribs
 from repro.runner import (
     CampaignPairTask,
-    SweepExecutor,
+    CheckpointJournal,
+    FaultPlan,
+    RetryPolicy,
+    SupervisedExecutor,
+    TaskFailure,
     WorkerContext,
     WorkerSpec,
     execute_task,
@@ -62,6 +66,9 @@ class AttackCampaign:
     timings: list[DetectionTiming] = field(default_factory=list)
     #: telemetry registry the campaign recorded into, when one was passed
     metrics: RunMetrics | None = None
+    #: tasks quarantined by the supervised runner after exhausting their
+    #: retry budget — structured failures instead of a crashed campaign
+    failures: list[TaskFailure] = field(default_factory=list)
 
     @property
     def effective(self) -> list[InterceptionResult]:
@@ -237,6 +244,9 @@ class InterceptionStudy:
         rng: random.Random | None = None,
         workers: int | None = None,
         metrics: RunMetrics | None = None,
+        resume: str | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> AttackCampaign:
         """Run many random attack instances and detect each one.
 
@@ -247,6 +257,22 @@ class InterceptionStudy:
         executed as independent tasks: serially in-process, or fanned
         out over ``workers`` processes.  The campaign's results are
         bit-identical for every worker count.
+
+        The pooled path runs supervised: a worker that dies mid-batch
+        (OOM, segfault) respawns the pool and re-executes only the
+        affected instances — every task being a pure function of its
+        inputs, recovery is indistinguishable from a fault-free run.
+        A task that exhausts its retry budget (``retry``, default 3
+        attempts with exponential backoff) lands in
+        :attr:`AttackCampaign.failures` as a structured
+        :class:`TaskFailure` instead of sinking the campaign.
+
+        ``resume`` names a JSONL checkpoint journal: finished instances
+        append to it as they land, and re-running the same campaign
+        with the same path replays journaled results instead of
+        re-executing them — a killed campaign (crash, Ctrl-C) picks up
+        where it stopped.  ``faults`` injects a deterministic
+        :class:`FaultPlan` (chaos testing only).
 
         ``metrics`` optionally records engine, cache, worker and
         detection telemetry into a :class:`RunMetrics` registry.
@@ -271,21 +297,49 @@ class InterceptionStudy:
             max_activations=self._engine.max_activations,
             metrics_enabled=enabled,
             backend=self._engine.backend,
+            fault_plan=faults,
         )
-        if resolve_workers(workers) == 1:
-            prev_engine_metrics = self._engine.metrics
-            context = WorkerContext(spec, engine=self._engine, metrics=metrics)
-            try:
-                outcomes = [execute_task(task, context) for task in tasks]
-            finally:
-                self._engine.metrics = prev_engine_metrics
-        else:
-            with SweepExecutor(
-                spec, workers=workers, metrics=metrics if enabled else None
-            ) as executor:
-                outcomes = executor.run(tasks)
+        journal = CheckpointJournal(resume) if resume is not None else None
+        supervise = journal is not None or faults is not None or retry is not None
+        try:
+            if resolve_workers(workers) == 1:
+                prev_engine_metrics = self._engine.metrics
+                try:
+                    if supervise:
+                        with SupervisedExecutor(
+                            spec,
+                            workers=1,
+                            engine=self._engine,
+                            metrics=metrics,
+                            retry=retry,
+                            journal=journal,
+                        ) as executor:
+                            outcomes = executor.run(tasks)
+                    else:
+                        context = WorkerContext(
+                            spec, engine=self._engine, metrics=metrics
+                        )
+                        outcomes = [execute_task(task, context) for task in tasks]
+                finally:
+                    self._engine.metrics = prev_engine_metrics
+            else:
+                with SupervisedExecutor(
+                    spec,
+                    workers=workers,
+                    metrics=metrics if enabled else None,
+                    retry=retry,
+                    journal=journal,
+                ) as executor:
+                    outcomes = executor.run(tasks)
+        finally:
+            if journal is not None:
+                journal.close()
         campaign = AttackCampaign(metrics=metrics)
-        for result, timing in outcomes:
+        for outcome in outcomes:
+            if isinstance(outcome, TaskFailure):
+                campaign.failures.append(outcome)
+                continue
+            result, timing = outcome
             campaign.results.append(result)
             campaign.timings.append(timing)
         return campaign

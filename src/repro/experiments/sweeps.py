@@ -5,21 +5,35 @@ number of prepended ASNs; the pair-grid figures fix λ and sweep
 attacker/victim pairs.  Both decompose into independent
 :class:`~repro.runner.SweepPointTask` instances, so they share one
 execution path: serial in-process (with the baseline cache warm across
-points) or fanned out over a process pool via
-:class:`~repro.runner.SweepExecutor`.  The task list, and therefore
-the result rows, are identical for every worker count.
+points) or fanned out over a process pool.  The task list, and
+therefore the result rows, are identical for every worker count.
+
+The pooled path runs under the :class:`~repro.runner.SupervisedExecutor`
+failure model — a dead worker respawns the pool and re-executes only
+the in-flight points, so a sweep survives worker OOMs/segfaults with
+bit-identical rows.  ``checkpoint`` journals every finished point to a
+JSONL file and a rerun pointed at the same path replays completed
+points instead of re-converging them.  Sweeps need complete data, so a
+task that exhausts its retry budget raises :class:`SimulationError`
+(campaigns, by contrast, collect structured failures).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.bgp.engine import PropagationEngine
+from repro.exceptions import SimulationError
 from repro.runner import (
     BaselineCache,
-    SweepExecutor,
+    CheckpointJournal,
+    FaultPlan,
+    RetryPolicy,
+    SupervisedExecutor,
     SweepPointResult,
     SweepPointTask,
+    TaskFailure,
     WorkerContext,
     WorkerSpec,
     execute_task,
@@ -30,6 +44,29 @@ from repro.telemetry.metrics import RunMetrics
 __all__ = ["padding_sweep", "pair_grid"]
 
 
+def _prefetch_families(ctx: WorkerContext, tasks: Sequence[SweepPointTask]) -> None:
+    """Warm the whole uniform-λ family for each victim in one canonical
+    pass (repeat victims are already-cached no-ops)."""
+    for task in tasks:
+        ctx.cache.prefetch_uniform(
+            task.victim,
+            [t.padding for t in tasks if t.victim == task.victim],
+            prefix=task.prefix,
+        )
+
+
+def _raise_on_failures(results: list) -> list:
+    """Sweep figures need every point; surface quarantined tasks loudly."""
+    failures = [r for r in results if isinstance(r, TaskFailure)]
+    if failures:
+        first = failures[0]
+        raise SimulationError(
+            f"{len(failures)} sweep task(s) failed permanently after "
+            f"{first.attempts} attempts (first: {first.kind}: {first.error})"
+        )
+    return results
+
+
 def _run_tasks(
     engine: PropagationEngine,
     tasks: Sequence[SweepPointTask],
@@ -37,14 +74,17 @@ def _run_tasks(
     workers: int | None,
     cache: BaselineCache | None,
     metrics: RunMetrics | None = None,
+    checkpoint: str | Path | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[SweepPointResult]:
     """Run sweep tasks serially on ``engine`` or across a process pool.
 
     With ``metrics`` enabled, the serial path records straight into the
     caller's registry (temporarily wiring it into the adopted engine and
     cache), and the pooled path merges the per-task deltas the workers
-    ship back — in task order, so the deterministic counters come out
-    identical for every worker count.
+    ship back, so the deterministic counters come out identical for
+    every worker count.
     """
     enabled = metrics is not None and metrics.enabled
     spec = WorkerSpec(
@@ -52,29 +92,47 @@ def _run_tasks(
         max_activations=engine.max_activations,
         metrics_enabled=enabled,
         backend=engine.backend,
+        fault_plan=faults,
     )
-    if resolve_workers(workers) == 1:
-        prev_engine_metrics = engine.metrics
-        prev_cache_metrics = cache.metrics if cache is not None else None
-        ctx = WorkerContext(spec, engine=engine, cache=cache, metrics=metrics)
-        try:
-            for task in tasks:
-                # Warm the whole uniform-λ family for each victim in one
-                # canonical pass (repeat victims are already-cached no-ops).
-                ctx.cache.prefetch_uniform(
-                    task.victim,
-                    [t.padding for t in tasks if t.victim == task.victim],
-                    prefix=task.prefix,
-                )
-            return [execute_task(task, ctx) for task in tasks]
-        finally:
-            engine.metrics = prev_engine_metrics
-            if cache is not None:
-                cache.metrics = prev_cache_metrics
-    with SweepExecutor(
-        spec, workers=workers, metrics=metrics if enabled else None
-    ) as executor:
-        return executor.run(tasks)
+    journal = CheckpointJournal(checkpoint) if checkpoint is not None else None
+    supervise = journal is not None or faults is not None or retry is not None
+    try:
+        if resolve_workers(workers) == 1:
+            prev_engine_metrics = engine.metrics
+            prev_cache_metrics = cache.metrics if cache is not None else None
+            try:
+                if supervise:
+                    with SupervisedExecutor(
+                        spec,
+                        workers=1,
+                        engine=engine,
+                        cache=cache,
+                        metrics=metrics,
+                        retry=retry,
+                        journal=journal,
+                    ) as executor:
+                        ctx = executor.context
+                        assert ctx is not None
+                        _prefetch_families(ctx, tasks)
+                        return _raise_on_failures(executor.run(tasks))
+                ctx = WorkerContext(spec, engine=engine, cache=cache, metrics=metrics)
+                _prefetch_families(ctx, tasks)
+                return [execute_task(task, ctx) for task in tasks]
+            finally:
+                engine.metrics = prev_engine_metrics
+                if cache is not None:
+                    cache.metrics = prev_cache_metrics
+        with SupervisedExecutor(
+            spec,
+            workers=workers,
+            metrics=metrics if enabled else None,
+            retry=retry,
+            journal=journal,
+        ) as executor:
+            return _raise_on_failures(executor.run(tasks))
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def padding_sweep(
@@ -87,18 +145,26 @@ def padding_sweep(
     workers: int | None = None,
     cache: BaselineCache | None = None,
     metrics: RunMetrics | None = None,
+    checkpoint: str | Path | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[tuple[int, float, float]]:
     """Run the attack for each λ; return ``(λ, before%, after%)`` rows.
 
     Fractions are percentages of ASes whose best path traverses the
     attacker, matching the paper's y-axis.  ``workers`` fans the λ
     points out over that many processes (``None``/``0``/``1`` = serial
-    in-process); the rows are bit-identical for every worker count.
-    ``cache`` optionally shares one :class:`BaselineCache` across
-    several serial sweeps on the same engine (e.g. a figure's
-    valley-free and policy-violating series, whose baselines coincide).
-    ``metrics`` optionally records engine/cache/worker telemetry into a
+    in-process); the rows are bit-identical for every worker count, and
+    — because each point is a pure function of its inputs — also under
+    any worker crashes the supervised pool recovers from.  ``cache``
+    optionally shares one :class:`BaselineCache` across several serial
+    sweeps on the same engine (e.g. a figure's valley-free and
+    policy-violating series, whose baselines coincide).  ``metrics``
+    optionally records engine/cache/worker telemetry into a
     :class:`RunMetrics` registry without affecting the rows.
+    ``checkpoint`` journals finished points for crash/resume; ``retry``
+    tunes the supervision policy; ``faults`` injects deterministic
+    failures (chaos testing).
     """
     tasks = [
         SweepPointTask(
@@ -110,7 +176,14 @@ def padding_sweep(
         for padding in paddings
     ]
     results = _run_tasks(
-        engine, tasks, workers=workers, cache=cache, metrics=metrics
+        engine,
+        tasks,
+        workers=workers,
+        cache=cache,
+        metrics=metrics,
+        checkpoint=checkpoint,
+        retry=retry,
+        faults=faults,
     )
     return [result.row() for result in results]
 
@@ -123,15 +196,28 @@ def pair_grid(
     workers: int | None = None,
     cache: BaselineCache | None = None,
     metrics: RunMetrics | None = None,
+    checkpoint: str | Path | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[SweepPointResult]:
     """Run one fixed-λ attack per ``(attacker, victim)`` pair.
 
     Results come back in ``pairs`` order regardless of worker count.
     Serially, victims recurring across pairs (Figure 7's Tier-1 × Tier-1
-    grid) hit the baseline cache instead of re-converging.
+    grid) hit the baseline cache instead of re-converging.  See
+    :func:`padding_sweep` for ``checkpoint``/``retry``/``faults``.
     """
     tasks = [
         SweepPointTask(victim=victim, attacker=attacker, padding=origin_padding)
         for attacker, victim in pairs
     ]
-    return _run_tasks(engine, tasks, workers=workers, cache=cache, metrics=metrics)
+    return _run_tasks(
+        engine,
+        tasks,
+        workers=workers,
+        cache=cache,
+        metrics=metrics,
+        checkpoint=checkpoint,
+        retry=retry,
+        faults=faults,
+    )

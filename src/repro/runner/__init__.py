@@ -1,4 +1,4 @@
-"""Sweep runner: baseline caching plus process-pool fan-out.
+"""Sweep runner: baseline caching, process-pool fan-out, supervision.
 
 Sweeps and campaigns are embarrassingly parallel — every (attacker,
 victim, λ) point is an independent propagation — and embarrassingly
@@ -9,6 +9,14 @@ uniform-λ family from one canonical run per victim), and a
 :class:`SweepExecutor` fans task batches out over worker processes,
 shipping the topology once per worker and keeping results bit-identical
 to the serial path regardless of worker count.
+
+Long campaigns additionally get a failure model:
+:class:`SupervisedExecutor` layers bounded retries with exponential
+backoff, per-task deadlines, pool respawn after worker death, serial
+degradation, and checkpoint/resume through a
+:class:`CheckpointJournal` on top of the same task machinery, with a
+deterministic :class:`FaultPlan` harness (:mod:`repro.runner.faults`)
+so every recovery path is exercised in CI.
 """
 
 from repro.runner.cache import (
@@ -16,11 +24,18 @@ from repro.runner.cache import (
     derive_uniform_baseline,
     derive_uniform_family,
 )
+from repro.runner.checkpoint import CheckpointJournal, task_fingerprint
 from repro.runner.executor import (
     SweepExecutor,
     available_cpus,
     execute_task,
     resolve_workers,
+)
+from repro.runner.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedFaultError,
 )
 from repro.runner.sampling import sample_attack_pairs
 from repro.runner.shm import (
@@ -28,6 +43,7 @@ from repro.runner.shm import (
     attach_topology,
     publish_topology,
 )
+from repro.runner.supervisor import RetryPolicy, SupervisedExecutor, TaskFailure
 from repro.runner.tasks import (
     CampaignPairTask,
     SweepPointResult,
@@ -39,10 +55,18 @@ from repro.runner.tasks import (
 __all__ = [
     "BaselineCache",
     "CampaignPairTask",
+    "CheckpointJournal",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "RetryPolicy",
     "SharedTopologyHandle",
+    "SupervisedExecutor",
     "SweepExecutor",
     "SweepPointResult",
     "SweepPointTask",
+    "TaskFailure",
     "WorkerContext",
     "WorkerSpec",
     "attach_topology",
@@ -53,4 +77,5 @@ __all__ = [
     "execute_task",
     "resolve_workers",
     "sample_attack_pairs",
+    "task_fingerprint",
 ]

@@ -1,0 +1,158 @@
+"""Crash-safe checkpoint journal for sweep and campaign runs.
+
+Long campaigns die for boring reasons — OOM killers, pre-empted cloud
+hosts, Ctrl-C — and restarting from zero throws away hours of converged
+propagations.  Every runner task is a pure function of its descriptor,
+so a completed task never needs to be re-run: this module gives each
+task a deterministic *fingerprint* (a digest of its type and frozen
+fields) and appends one JSONL record per finished task to a journal
+file as results land.  A later run pointed at the same journal skips
+every fingerprint already recorded as successful and replays its stored
+result instead — bit-identical to having computed it, because the
+stored payload is the pickled result object itself.
+
+The journal is append-only and flushed per record, so a crash can lose
+at most the record being written; :meth:`CheckpointJournal._load`
+tolerates a truncated or garbled final line by simply ignoring
+undecodable records.  Failure records (quarantined tasks) are kept for
+the post-mortem but are *not* treated as completed — a resumed run
+retries them from scratch.
+
+The payload encoding is pickle (base64-armoured inside the JSON
+record).  Journals are therefore private artefacts of the machine that
+wrote them — treat them like any other pickle: do not load journals
+from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CheckpointJournal", "task_fingerprint"]
+
+
+def task_fingerprint(task: Any) -> str:
+    """Deterministic identity of a task descriptor.
+
+    Tasks are frozen dataclasses, so their ``repr`` enumerates every
+    field in declaration order; hashing it together with the qualified
+    type name yields a stable fingerprint across processes and runs
+    (no ``PYTHONHASHSEED`` dependence) that changes whenever any input
+    of the task changes.
+    """
+    identity = f"{type(task).__module__}.{type(task).__qualname__}|{task!r}"
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def _encode_payload(result: Any) -> str:
+    raw = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _decode_payload(payload: str) -> Any:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal keyed by task fingerprints.
+
+    Constructing a journal loads any records already at ``path`` (a
+    missing file starts empty);  :meth:`record_success` /
+    :meth:`record_failure` append-and-flush one record each.  Use
+    :meth:`completed` + :meth:`result_for` to skip finished work.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: fingerprint -> last record seen for it
+        self._records: dict[str, dict[str, Any]] = {}
+        self._handle = None
+        if self.path.exists():
+            self._load()
+
+    # -- reading --------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves at most one truncated
+                    # line; everything before it is intact.
+                    continue
+                if not isinstance(record, dict) or "fp" not in record:
+                    continue
+                self._records[str(record["fp"])] = record
+
+    def completed(self, fingerprint: str) -> bool:
+        """True when ``fingerprint`` has a replayable success record."""
+        record = self._records.get(fingerprint)
+        return (
+            record is not None
+            and record.get("status") == "ok"
+            and "payload" in record
+        )
+
+    def result_for(self, fingerprint: str) -> Any:
+        """The journaled result for a :meth:`completed` fingerprint."""
+        record = self._records[fingerprint]
+        return _decode_payload(record["payload"])
+
+    def failed(self, fingerprint: str) -> bool:
+        record = self._records.get(fingerprint)
+        return record is not None and record.get("status") == "failed"
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for fp in self._records if self.completed(fp))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- writing --------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            if self.path.parent and not self.path.parent.exists():
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._records[record["fp"]] = record
+
+    def record_success(self, fingerprint: str, result: Any) -> None:
+        self._append(
+            {"fp": fingerprint, "status": "ok", "payload": _encode_payload(result)}
+        )
+
+    def record_failure(
+        self, fingerprint: str, *, kind: str, attempts: int, error: str
+    ) -> None:
+        self._append(
+            {
+                "fp": fingerprint,
+                "status": "failed",
+                "kind": kind,
+                "attempts": attempts,
+                "error": error,
+            }
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            handle, self._handle = self._handle, None
+            handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

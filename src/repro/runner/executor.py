@@ -12,20 +12,30 @@ preserves ordering), and each task is a pure function of its inputs, so
 the output of a run is bit-identical regardless of the worker count —
 including the ``workers <= 1`` path, which runs the same task objects
 in-process against a single shared context without any pool at all.
+
+:class:`SweepExecutor` itself is the *unsupervised* fan-out: a dead
+worker surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`
+(after unlinking the shared-memory segment so nothing leaks into
+``/dev/shm``).  The fault-tolerant layer that respawns the pool,
+retries the in-flight tasks and enforces deadlines lives on top of it
+in :mod:`repro.runner.supervisor`.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from repro.bgp.compiled import CompiledTopology
 from repro.bgp.engine import PropagationEngine
 from repro.exceptions import SimulationError
+from repro.runner.cache import BaselineCache
 from repro.runner.shm import publish_topology
 from repro.runner.tasks import WorkerContext, WorkerSpec
 from repro.telemetry.metrics import RunMetrics
@@ -61,6 +71,27 @@ def resolve_workers(workers: int | None, *, force: bool = False) -> int:
     return min(workers, available_cpus())
 
 
+#: Shared-memory segments published by live executors.  Normally the
+#: owning executor unlinks its segment on :meth:`SweepExecutor.close`;
+#: this registry is the backstop for executors abandoned by a crash or
+#: an exception between publish and pool construction, so ``/dev/shm``
+#: is swept clean when the interpreter exits no matter what.
+_LIVE_SEGMENTS: set = set()
+
+
+def _cleanup_segments() -> None:
+    for segment in list(_LIVE_SEGMENTS):
+        _LIVE_SEGMENTS.discard(segment)
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+
+
+atexit.register(_cleanup_segments)
+
+
 # Per-process context, built once by the pool initializer.
 _CONTEXT: WorkerContext | None = None
 
@@ -70,14 +101,23 @@ def _init_worker(spec: WorkerSpec) -> None:
     _CONTEXT = WorkerContext(spec, in_pool_worker=True)
 
 
-def execute_task(task: Any, ctx: WorkerContext, worker_label: str = "serial") -> Any:
+def execute_task(
+    task: Any, ctx: WorkerContext, worker_label: str = "serial", attempt: int = 0
+) -> Any:
     """Run one task against ``ctx``, recording worker-level telemetry.
 
     ``worker.tasks``/``worker.task_seconds`` are worker-count-invariant
     totals; the per-worker load split goes into the registry's ``info``
     section (keyed by ``worker_label``), which is expected to differ
     between serial and pooled runs.
+
+    When the context carries a :class:`~repro.runner.faults.FaultPlan`,
+    the fault scheduled for ``(task, attempt)`` fires *before* the task
+    body — so a faulted attempt does no work and records nothing, and
+    ``worker.tasks`` counts exactly the attempts that completed.
     """
+    if ctx.faults is not None:
+        ctx.faults.fire(task, attempt, in_pool_worker=ctx.in_pool_worker)
     metrics = ctx.metrics
     if not metrics.enabled:
         return task.run(ctx)
@@ -102,19 +142,41 @@ def _run_task_metered(task: Any) -> Any:
     return result, _CONTEXT.metrics.take()
 
 
+def _run_task_attempt(task: Any, attempt: int) -> Any:
+    """Supervised pool entry point: the parent threads the attempt
+    number through so deterministic fault plans can key on it."""
+    assert _CONTEXT is not None, "worker used before initialization"
+    return execute_task(task, _CONTEXT, f"pid{os.getpid()}", attempt=attempt)
+
+
+def _run_task_attempt_metered(task: Any, attempt: int) -> Any:
+    assert _CONTEXT is not None, "worker used before initialization"
+    try:
+        result = execute_task(task, _CONTEXT, f"pid{os.getpid()}", attempt=attempt)
+    except BaseException:
+        # Drop the failed attempt's partial recordings so they cannot
+        # contaminate the delta shipped with this worker's next result.
+        _CONTEXT.metrics.take()
+        raise
+    return result, _CONTEXT.metrics.take()
+
+
 class SweepExecutor:
     """Runs task batches, serially in-process or across a process pool.
 
     With an effective worker count of 1 the executor builds (or adopts,
-    via ``engine``) a single :class:`WorkerContext` and runs tasks
-    inline — no pool, no pickling, but the identical code path per
-    task.  With more workers it lazily spins up a
+    via ``engine``/``cache``) a single :class:`WorkerContext` and runs
+    tasks inline — no pool, no pickling, but the identical code path
+    per task.  With more workers it lazily spins up a
     :class:`~concurrent.futures.ProcessPoolExecutor` whose processes
     each initialise their own context from ``spec``.
 
     Use as a context manager (or call :meth:`close`) so pool processes
     are reaped; running several batches through one executor reuses
-    both the pool and the workers' warm baseline caches.
+    both the pool and the workers' warm baseline caches.  A closed
+    executor is dead: further :meth:`run` calls raise
+    :class:`SimulationError` instead of silently respawning a pool
+    whose shared-memory segment was already unlinked.
     """
 
     def __init__(
@@ -124,6 +186,7 @@ class SweepExecutor:
         workers: int | None = None,
         force_processes: bool = False,
         engine: PropagationEngine | None = None,
+        cache: BaselineCache | None = None,
         metrics: RunMetrics | None = None,
     ) -> None:
         self.spec = spec
@@ -132,15 +195,28 @@ class SweepExecutor:
         self._context: WorkerContext | None = None
         self._pool_metrics: RunMetrics | None = None
         self._shm_segment = None
+        self._closed = False
         if self.workers == 1:
-            self._context = WorkerContext(spec, engine=engine, metrics=metrics)
+            self._context = WorkerContext(
+                spec, engine=engine, cache=cache, metrics=metrics
+            )
+        elif metrics is not None:
+            # The caller's registry is the effective pool registry even
+            # when the spec itself ships unmetered workers — parent-side
+            # events (shm publishes/fallbacks, supervision counters)
+            # still land somewhere observable.
+            self._pool_metrics = metrics
         elif spec.metrics_enabled:
-            self._pool_metrics = metrics if metrics is not None else RunMetrics()
+            self._pool_metrics = RunMetrics()
 
     @property
     def context(self) -> WorkerContext | None:
         """The in-process context (serial mode only)."""
         return self._context
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     @property
     def metrics(self) -> RunMetrics | None:
@@ -154,6 +230,10 @@ class SweepExecutor:
 
     def run(self, tasks: Sequence[Any]) -> list[Any]:
         """Execute ``tasks``, returning results in task order."""
+        if self._closed:
+            raise SimulationError(
+                "SweepExecutor is closed; build a new executor for further batches"
+            )
         if not tasks:
             return []
         if self._context is not None:
@@ -161,13 +241,23 @@ class SweepExecutor:
             return [execute_task(task, ctx, "serial") for task in tasks]
         pool = self._ensure_pool()
         chunksize = max(1, len(tasks) // (4 * self.workers))
-        if self._pool_metrics is None:
-            return list(pool.map(_run_task, tasks, chunksize=chunksize))
-        results: list[Any] = []
-        for result, delta in pool.map(_run_task_metered, tasks, chunksize=chunksize):
-            self._pool_metrics.merge(delta)
-            results.append(result)
-        return results
+        metered = self._pool_metrics is not None and self.spec.metrics_enabled
+        try:
+            if not metered:
+                return list(pool.map(_run_task, tasks, chunksize=chunksize))
+            results: list[Any] = []
+            for result, delta in pool.map(
+                _run_task_metered, tasks, chunksize=chunksize
+            ):
+                self._pool_metrics.merge(delta)
+                results.append(result)
+            return results
+        except BrokenProcessPool:
+            # A dead worker orphans the pool; release the shared-memory
+            # segment *now* so a respawn (or the caller giving up)
+            # cannot leak it into /dev/shm.
+            self._discard_pool(kill=True)
+            raise
 
     def map(self, tasks: Iterable[Any]) -> list[Any]:
         return self.run(list(tasks))
@@ -183,6 +273,9 @@ class SweepExecutor:
         limits) the original graph-pickling spec is used unchanged.
         """
         spec = self.spec
+        registry = self._pool_metrics
+        if registry is not None and not registry.enabled:
+            registry = None
         if spec.backend != "compiled" or spec.graph is None:
             return spec
         if spec.shared_topology is not None:
@@ -191,34 +284,71 @@ class SweepExecutor:
             topo = CompiledTopology.from_graph(spec.graph)
             self._shm_segment, handle = publish_topology(topo)
         except (OSError, ValueError):
-            if self._pool_metrics is not None:
-                self._pool_metrics.count("runner.shm.fallbacks")
+            if registry is not None:
+                registry.count("runner.shm.fallbacks")
             return spec
-        if self._pool_metrics is not None:
-            self._pool_metrics.count("runner.shm.publishes")
-            self._pool_metrics.count("runner.shm.published_bytes", handle.size)
+        _LIVE_SEGMENTS.add(self._shm_segment)
+        if registry is not None:
+            registry.count("runner.shm.publishes")
+            registry.count("runner.shm.published_bytes", handle.size)
         return dataclasses.replace(spec, graph=None, shared_topology=handle)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self._pool_spec(),),
+        if self._closed:
+            raise SimulationError(
+                "SweepExecutor is closed; build a new executor for further batches"
             )
+        if self._pool is None:
+            spec = self._pool_spec()
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(spec,),
+                )
+            except BaseException:
+                # Pool construction failed after the segment was
+                # published: unlink it here, because close() may never
+                # be reached once this propagates.
+                self._release_shm()
+                raise
         return self._pool
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._shm_segment is not None:
-            segment, self._shm_segment = self._shm_segment, None
-            segment.close()
+    def _release_shm(self) -> None:
+        segment, self._shm_segment = self._shm_segment, None
+        if segment is None:
+            return
+        _LIVE_SEGMENTS.discard(segment)
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+    def _discard_pool(self, *, kill: bool = False) -> None:
+        """Tear down the current pool (if any) and its shm segment.
+
+        ``kill`` hard-terminates worker processes first — the only way
+        to reclaim a worker stuck in a hung task — and skips waiting on
+        them during shutdown.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if kill:
+                for proc in list(getattr(pool, "_processes", {}).values() or []):
+                    try:
+                        proc.kill()
+                    except Exception:  # pragma: no cover - already dead
+                        pass
             try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reaped
+                pool.shutdown(wait=not kill, cancel_futures=kill)
+            except Exception:  # pragma: no cover - broken pool teardown
                 pass
+        self._release_shm()
+
+    def close(self) -> None:
+        self._closed = True
+        self._discard_pool()
 
     def __enter__(self) -> "SweepExecutor":
         return self

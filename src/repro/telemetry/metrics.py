@@ -37,8 +37,8 @@ from functools import wraps
 
 __all__ = ["CACHE_SHAPE_PREFIXES", "Counter", "Timer", "Histogram", "RunMetrics", "timed"]
 
-#: Metric namespaces whose values depend on *cache locality* rather than
-#: on the workload alone.  Every pool worker keeps its own baseline
+#: Metric namespaces whose values depend on *how* a run executed rather
+#: than on the workload alone.  Every pool worker keeps its own baseline
 #: cache, so a victim whose tasks land on two workers converges its
 #: canonical baseline twice — ``cache.*`` counters and the engine work
 #: done during those cold (non-warm-started) convergences legitimately
@@ -46,11 +46,15 @@ __all__ = ["CACHE_SHAPE_PREFIXES", "Counter", "Timer", "Histogram", "RunMetrics"
 #: quantify duplicated baseline work), but they are excluded from
 #: serial-vs-pooled determinism comparisons.  The compiled backend's
 #: interning counters (``engine.compiled.*`` — hit rates depend on
-#: which paths a worker's intern tables have already seen) and the
-#: runner's shared-memory bootstrap accounting (``runner.shm.*`` —
-#: per-worker, and absent entirely on the serial path) are cache-shaped
-#: for the same reason.
-CACHE_SHAPE_PREFIXES = ("cache.", "engine.cold.", "engine.compiled.", "runner.shm.")
+#: which paths a worker's intern tables have already seen) are
+#: cache-shaped for the same reason.  The whole ``runner.*`` namespace
+#: is run-shaped by construction: shared-memory transport accounting
+#: (``runner.shm.*`` — per-worker, absent on the serial path) and the
+#: supervisor's recovery counters (``runner.retries``,
+#: ``runner.pool_restarts``, ``runner.deadline_kills``,
+#: ``runner.resumed_tasks``, ...) measure faults survived and work
+#: skipped, not propagation performed.
+CACHE_SHAPE_PREFIXES = ("cache.", "engine.cold.", "engine.compiled.", "runner.")
 
 
 @dataclass

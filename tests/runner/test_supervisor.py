@@ -1,0 +1,290 @@
+"""Supervisor and executor lifecycle regressions.
+
+Covers the robustness satellites: the shared-memory segment must never
+outlive a failed pool (construction failure, worker death, interpreter
+exit), a closed executor must refuse reuse instead of respawning onto
+an unlinked segment, shm transport accounting must land on the
+executor's effective registry in every metric mode, and pool
+construction failure must degrade to serial with identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runner.executor as executor_mod
+from repro.exceptions import SimulationError
+from repro.runner import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SupervisedExecutor,
+    SweepExecutor,
+    SweepPointTask,
+    WorkerContext,
+    WorkerSpec,
+)
+from repro.telemetry.metrics import RunMetrics
+
+FAST = RetryPolicy(backoff_base=0.01, backoff_max=0.05)
+
+
+def _tasks(world, count=4):
+    victim, attacker = world.tier1[0], world.tier1[1]
+    return [
+        SweepPointTask(victim=victim, attacker=attacker, padding=p)
+        for p in range(1, count + 1)
+    ]
+
+
+def _serial_reference(world, tasks):
+    ctx = WorkerContext(WorkerSpec(world.graph))
+    return [task.run(ctx) for task in tasks]
+
+
+class TestReuseAfterClose:
+    def test_sweep_executor_run_after_close_raises(self, small_world):
+        executor = SweepExecutor(WorkerSpec(small_world.graph), workers=1)
+        executor.close()
+        assert executor.closed
+        with pytest.raises(SimulationError, match="closed"):
+            executor.run(_tasks(small_world))
+
+    def test_closed_pool_executor_does_not_respawn(self, small_world):
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph), workers=2, force_processes=True
+        )
+        executor.close()
+        with pytest.raises(SimulationError, match="closed"):
+            executor.run(_tasks(small_world))
+        assert executor._pool is None
+        assert executor._shm_segment is None
+
+    def test_supervised_executor_run_after_close_raises(self, small_world):
+        executor = SupervisedExecutor(WorkerSpec(small_world.graph), workers=1)
+        executor.close()
+        assert executor.closed
+        with pytest.raises(SimulationError, match="closed"):
+            executor.run(_tasks(small_world))
+
+    def test_context_manager_closes(self, small_world):
+        with SweepExecutor(WorkerSpec(small_world.graph), workers=1) as executor:
+            assert not executor.closed
+        assert executor.closed
+
+
+class TestShmLifecycle:
+    def test_pool_construction_failure_unlinks_segment(
+        self, small_world, monkeypatch
+    ):
+        """If ``ProcessPoolExecutor()`` itself raises after the topology
+        was published, the segment must be unlinked on the spot."""
+
+        def explode(*args, **kwargs):
+            raise OSError("no more processes")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", explode)
+        before = set(executor_mod._LIVE_SEGMENTS)
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph), workers=2, force_processes=True
+        )
+        with pytest.raises(OSError, match="no more processes"):
+            executor.run(_tasks(small_world))
+        assert executor._shm_segment is None
+        assert executor_mod._LIVE_SEGMENTS == before
+        executor.close()
+
+    def test_broken_pool_unlinks_segment_before_raising(self, small_world):
+        """Unsupervised executor: worker death must not leak the segment
+        (regression for the pre-supervision leak)."""
+        tasks = _tasks(small_world)
+        plan = FaultPlan.for_tasks(
+            {task: FaultSpec("crash", attempts=(0,)) for task in tasks}
+        )
+        spec = WorkerSpec(small_world.graph, metrics_enabled=True, fault_plan=plan)
+        before = set(executor_mod._LIVE_SEGMENTS)
+        from concurrent.futures.process import BrokenProcessPool
+
+        with SweepExecutor(spec, workers=2, force_processes=True) as executor:
+            with pytest.raises(BrokenProcessPool):
+                executor.run(tasks)
+            assert executor._shm_segment is None
+            assert executor._pool is None
+            assert executor_mod._LIVE_SEGMENTS == before
+
+    def test_atexit_guard_reaps_orphaned_segments(self, small_world):
+        """A segment published but never released (crash between publish
+        and pool construction) is unlinked by the atexit sweep."""
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph), workers=2, force_processes=True
+        )
+        executor._pool_spec()
+        segment = executor._shm_segment
+        assert segment is not None
+        assert segment in executor_mod._LIVE_SEGMENTS
+
+        executor_mod._cleanup_segments()
+        assert segment not in executor_mod._LIVE_SEGMENTS
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment.name)
+        executor.close()  # idempotent: double-release must not raise
+
+    def test_supervised_close_releases_segment(self, small_world):
+        tasks = _tasks(small_world)
+        spec = WorkerSpec(small_world.graph)
+        executor = SupervisedExecutor(
+            spec, workers=2, force_processes=True, retry=FAST
+        )
+        executor.run(tasks)
+        executor.close()
+        assert executor._inner._shm_segment is None
+        assert executor._inner._pool is None
+
+
+class TestEffectiveRegistry:
+    """Satellite: ``_pool_spec`` must account shm transport on the
+    executor's effective registry in *all* metric modes."""
+
+    def test_publish_recorded_on_caller_registry_with_unmetered_spec(
+        self, small_world
+    ):
+        metrics = RunMetrics()
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph, metrics_enabled=False),
+            workers=2,
+            force_processes=True,
+            metrics=metrics,
+        )
+        executor._pool_spec()
+        try:
+            assert metrics.counter_value("runner.shm.publishes") == 1
+            assert metrics.counter_value("runner.shm.published_bytes") > 0
+        finally:
+            executor.close()
+
+    def test_fallback_recorded_on_caller_registry(self, small_world, monkeypatch):
+        def refuse(topo):
+            raise OSError("/dev/shm unavailable")
+
+        monkeypatch.setattr(executor_mod, "publish_topology", refuse)
+        metrics = RunMetrics()
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph, metrics_enabled=False),
+            workers=2,
+            force_processes=True,
+            metrics=metrics,
+        )
+        spec = executor._pool_spec()
+        try:
+            assert metrics.counter_value("runner.shm.fallbacks") == 1
+            # The fallback spec ships the pickled graph unchanged.
+            assert spec.graph is small_world.graph
+            assert spec.shared_topology is None
+            assert executor._shm_segment is None
+        finally:
+            executor.close()
+
+    def test_fallback_recorded_on_auto_registry_with_metered_spec(
+        self, small_world, monkeypatch
+    ):
+        monkeypatch.setattr(
+            executor_mod,
+            "publish_topology",
+            lambda topo: (_ for _ in ()).throw(OSError("nope")),
+        )
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph, metrics_enabled=True),
+            workers=2,
+            force_processes=True,
+        )
+        executor._pool_spec()
+        try:
+            assert executor.metrics is not None
+            assert executor.metrics.counter_value("runner.shm.fallbacks") == 1
+        finally:
+            executor.close()
+
+    def test_disabled_registry_records_nothing(self, small_world):
+        metrics = RunMetrics(enabled=False)
+        executor = SweepExecutor(
+            WorkerSpec(small_world.graph, metrics_enabled=False),
+            workers=2,
+            force_processes=True,
+            metrics=metrics,
+        )
+        executor._pool_spec()
+        try:
+            assert metrics.counter_value("runner.shm.publishes") == 0
+        finally:
+            executor.close()
+
+
+class TestGracefulDegradation:
+    def test_unbuildable_pool_degrades_to_serial(self, small_world, monkeypatch):
+        tasks = _tasks(small_world)
+        reference = _serial_reference(small_world, tasks)
+
+        def explode(*args, **kwargs):
+            raise OSError("fork failed")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", explode)
+        metrics = RunMetrics()
+        with SupervisedExecutor(
+            WorkerSpec(small_world.graph),
+            workers=2,
+            force_processes=True,
+            metrics=metrics,
+            retry=FAST,
+        ) as executor:
+            results = executor.run(tasks)
+        assert results == reference
+        assert metrics.counter_value("runner.serial_degradations") == 1
+
+    def test_persistently_dying_pool_degrades_to_serial(self, small_world):
+        """A pool that keeps crashing without completing anything stalls
+        out after ``max_pool_restarts`` losses and finishes serially."""
+        tasks = _tasks(small_world, count=2)
+        reference = _serial_reference(small_world, tasks)
+        plan = FaultPlan.for_tasks(
+            {task: FaultSpec("crash", attempts=tuple(range(6))) for task in tasks}
+        )
+        spec = WorkerSpec(small_world.graph, fault_plan=plan)
+        metrics = RunMetrics()
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            max_pool_restarts=1,
+        )
+        with SupervisedExecutor(
+            spec, workers=2, force_processes=True, metrics=metrics, retry=policy
+        ) as executor:
+            results = executor.run(tasks)
+        # In-process the crash fault surfaces as InjectedCrashError, so
+        # the serial fallback retries through the remaining faulty
+        # attempts and still converges.
+        assert results == reference
+        assert metrics.counter_value("runner.serial_degradations") == 1
+        assert metrics.counter_value("runner.pool_restarts") >= 1
+
+    def test_degraded_run_still_retries_faults(self, small_world, monkeypatch):
+        tasks = _tasks(small_world)
+        reference = _serial_reference(small_world, tasks)
+        plan = FaultPlan.for_tasks({tasks[1]: FaultSpec("raise", attempts=(0,))})
+        monkeypatch.setattr(
+            executor_mod,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("fork failed")),
+        )
+        metrics = RunMetrics()
+        spec = WorkerSpec(small_world.graph, metrics_enabled=True, fault_plan=plan)
+        with SupervisedExecutor(
+            spec, workers=2, force_processes=True, metrics=metrics, retry=FAST
+        ) as executor:
+            results = executor.run(tasks)
+        assert results == reference
+        assert metrics.counter_value("runner.serial_degradations") == 1
+        assert metrics.counter_value("runner.retries") == 1
+        assert metrics.counter_value("worker.tasks") == len(tasks)

@@ -207,3 +207,48 @@ class TestSubcommandParsing:
         main(["run", "fig09", "--scale", "0.15", "--workers", "2"])
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+
+class TestResilienceFlags:
+    """The supervised-runner surface: ``--resume``/``--retries``/``--task-deadline``."""
+
+    ARGS = ["campaign", "--scale", "0.15", "--pairs", "4", "--monitors", "20"]
+
+    def test_retry_flags_accepted(self, capsys):
+        assert main(self.ARGS + ["--retries", "2", "--task-deadline", "30"]) == 0
+        assert "effective attacks" in capsys.readouterr().out
+
+    def test_retry_flags_do_not_change_summary(self, capsys):
+        main(self.ARGS)
+        plain = capsys.readouterr().out
+        main(self.ARGS + ["--retries", "5"])
+        assert capsys.readouterr().out == plain
+
+    def test_invalid_retries_rejected(self):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            main(self.ARGS + ["--retries", "0"])
+
+    def test_resume_writes_journal_and_replays_it(self, capsys, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        assert main(self.ARGS + ["--resume", path]) == 0
+        first = capsys.readouterr().out
+        lines = (tmp_path / "campaign.jsonl").read_text().splitlines()
+        assert len(lines) == 4
+
+        # Second run replays every journaled instance; same summary.
+        assert main(self.ARGS + ["--resume", path]) == 0
+        assert capsys.readouterr().out == first
+        assert (tmp_path / "campaign.jsonl").read_text().splitlines() == lines
+
+    def test_resume_after_truncation_completes_the_campaign(self, capsys, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        main(self.ARGS + ["--resume", str(journal)])
+        reference = capsys.readouterr().out
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:2]) + "\n")
+
+        assert main(self.ARGS + ["--resume", str(journal)]) == 0
+        assert capsys.readouterr().out == reference
+        assert len(journal.read_text().splitlines()) == len(lines)
