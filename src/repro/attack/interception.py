@@ -132,6 +132,7 @@ def simulate_interception(
     violate_policy: bool = False,
     prepending: PrependingPolicy | None = None,
     baseline: PropagationOutcome | None = None,
+    secpol: object | None = None,
 ) -> InterceptionResult:
     """Run one attack instance: converge the baseline, launch, re-converge.
 
@@ -146,6 +147,14 @@ def simulate_interception(
     :class:`repro.runner.BaselineCache`), so only the attack delta is
     re-propagated.  It must equal what ``engine.propagate`` would
     return for this schedule — the sweep runner guarantees that.
+
+    ``secpol`` optionally deploys a security policy
+    (:class:`repro.secpol.SecurityDeployment`) for the *attack*
+    propagation only: policies activate at attack onset, judging the
+    perturbed offers, while the honest baseline converges policy-free —
+    which keeps baselines cacheable across policy configurations and
+    models routes learned before deployment staying grandfathered until
+    re-announced.
     """
     if origin_padding < 1:
         raise SimulationError("origin padding must be >= 1")
@@ -174,6 +183,7 @@ def simulate_interception(
         modifiers={attacker: attack.modifier()},
         export_policy=export_policy,
         warm_start=baseline,
+        secpol=secpol,
     )
     return InterceptionResult(
         attack=attack,

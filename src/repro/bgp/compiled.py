@@ -540,6 +540,7 @@ def run_compiled(
     incremental: bool,
     max_activations: int,
     metrics: RunMetrics | None,
+    secpol: object | None = None,
 ) -> "PropagationOutcome":
     """One propagation fixpoint on the compiled arrays.
 
@@ -547,7 +548,12 @@ def run_compiled(
     :meth:`PropagationEngine.propagate`; the control flow below mirrors
     the reference loop statement for statement (same activation trace,
     same fast-path accounting, same adoption stamps) with paths held as
-    intern ids until the outcome is emitted.
+    intern ids until the outcome is emitted.  ``secpol`` is the
+    security-policy deployment hook: deployed receivers are marked in a
+    dense bytearray and take the full decision scan, where the policy's
+    pid-space checker judges each offer without reifying a tuple —
+    admission order (policy first, then any import filter) matches
+    :func:`repro.bgp.decision.admit_offer`.
     """
     index = topo.index
     n = topo.n
@@ -627,8 +633,26 @@ def run_compiled(
     imps = {index[a]: fn for a, fn in import_filters.items() if a in index}
     roles = topo.roles if not stock_export else None
 
-    def decide(recv: int, imp) -> tuple[int, int, int]:
+    # Security-policy deployment as a dense bitmask: the hot loop pays
+    # one bytearray index per offer whether or not a policy is attached,
+    # and the pid-space checker runs only inside deployed receivers'
+    # full scans.  Counter semantics mirror the reference backend's
+    # admit_offer accounting exactly.
+    sec_deployed = bytearray(n)
+    sec_fn = None
+    sec_count = 0
+    if secpol is not None:
+        sec_fn = secpol.compiled_checker(table)
+        for a in secpol.deployers:
+            i = index.get(a)
+            if i is not None and not sec_deployed[i]:
+                sec_deployed[i] = 1
+                sec_count += 1
+    sec_eval = sec_filt = 0
+
+    def decide(recv: int, imp, sec) -> tuple[int, int, int]:
         """Full Adj-RIB-in scan: min preference key, reference order."""
+        nonlocal sec_eval, sec_filt
         b_pref = -1
         b_pid = 0
         b_from = -1
@@ -639,6 +663,11 @@ def run_compiled(
                 continue
             p = rib_pref[k]
             snd = nbr[k]
+            if sec is not None:
+                sec_eval += 1
+                if not sec(recv, snd, pid):
+                    sec_filt += 1
+                    continue
             if imp is not None and not imp(asn_of[snd], reify(pid)):
                 continue
             plen = length[pid]
@@ -738,16 +767,18 @@ def run_compiled(
                 continue  # the owner always keeps its own route
             cur_pref = best_pref[nb]
             imp = imps.get(nb)
-            if imp is not None or not incremental:
+            if imp is not None or sec_deployed[nb] or not incremental:
                 if track:
                     fastpath_misses += 1
-                new_pref, new_pid, new_from = decide(nb, imp)
+                new_pref, new_pid, new_from = decide(
+                    nb, imp, sec_fn if sec_deployed[nb] else None
+                )
             elif offer_pid < 0:
                 if cur_pref >= 0 and best_from[nb] == s:
                     # The best offer was withdrawn: full re-decision.
                     if track:
                         fastpath_misses += 1
-                    new_pref, new_pid, new_from = decide(nb, None)
+                    new_pref, new_pid, new_from = decide(nb, None, None)
                 else:
                     if track:
                         fastpath_hits += 1
@@ -768,7 +799,7 @@ def run_compiled(
                 else:
                     if track:
                         fastpath_misses += 1
-                    new_pref, new_pid, new_from = decide(nb, None)
+                    new_pref, new_pid, new_from = decide(nb, None, None)
             else:
                 if offer_pref > cur_pref:
                     if track:
@@ -912,6 +943,10 @@ def run_compiled(
         metrics.count(f"{ns}.best_changes", best_changes)
         metrics.observe(f"{ns}.convergence_rounds", max_round)
         metrics.observe(f"{ns}.queue_peak", peak_queue)
+        if secpol is not None:
+            metrics.count("secpol.evaluated", sec_eval)
+            metrics.count("secpol.filtered", sec_filt)
+            metrics.count("secpol.deployed_ases", sec_count)
         metrics.count("engine.compiled.propagations")
         metrics.count("engine.compiled.intern_hits", table.hits - intern_hits_start)
         metrics.count(

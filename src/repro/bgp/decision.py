@@ -12,11 +12,11 @@ The paper's route selection follows the standard profit-driven model:
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.bgp.route import Route
 
-__all__ = ["preference_key", "best_route"]
+__all__ = ["preference_key", "best_route", "admit_offer"]
 
 
 def preference_key(route: Route) -> tuple[int, int, int]:
@@ -37,3 +37,31 @@ def best_route(candidates: Iterable[Route]) -> Route | None:
         if best_key is None or key < best_key:
             best, best_key = route, key
     return best
+
+
+def admit_offer(
+    receiver: int,
+    sender: int,
+    path: tuple[int, ...],
+    security_check: Callable[[int, int, tuple[int, ...]], bool] | None = None,
+    import_filter: Callable[[int, tuple[int, ...]], bool] | None = None,
+    stats: list[int] | None = None,
+) -> bool:
+    """Receiver-side admission test, run before an offer is ranked.
+
+    This fixes the composition order both engine backends implement: a
+    deployed security policy (:class:`repro.bgp.policy.ImportPolicy`)
+    judges the offer first, then any ad-hoc import filter — so the
+    ``secpol.evaluated``/``secpol.filtered`` telemetry counts every
+    offer the policy saw, regardless of what a stacked filter would
+    have said.  ``stats`` is a mutable ``[evaluated, filtered]`` pair
+    the caller aggregates across the propagation.
+    """
+    if security_check is not None:
+        if stats is not None:
+            stats[0] += 1
+        if not security_check(receiver, sender, path):
+            if stats is not None:
+                stats[1] += 1
+            return False
+    return import_filter is None or import_filter(sender, path)

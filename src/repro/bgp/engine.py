@@ -46,7 +46,7 @@ from collections.abc import Callable, Iterable, Mapping
 from typing import Any
 
 from repro.bgp.compiled import CompiledState, CompiledTopology, InternTable, run_compiled
-from repro.bgp.decision import preference_key
+from repro.bgp.decision import admit_offer, preference_key
 from repro.bgp.policy import ExportPolicy
 from repro.bgp.prepending import PrependingPolicy
 from repro.bgp.route import DEFAULT_PREFIX, Route
@@ -429,6 +429,7 @@ class PropagationEngine:
         warm_start: PropagationOutcome | None = None,
         seed_ases: Iterable[int] | None = None,
         import_filters: Mapping[int, ImportFilter] | None = None,
+        secpol: Any | None = None,
         activation: str = "fifo",
         activation_rng: random.Random | None = None,
         incremental: bool = True,
@@ -449,6 +450,15 @@ class PropagationEngine:
         ``import_filters`` maps an AS to a receiver-side vetting
         function: offers it returns False for never enter that AS's
         decision process (the deployment hook for defensive policies).
+
+        ``secpol`` optionally attaches a security-policy deployment (a
+        :class:`repro.secpol.SecurityDeployment`, duck-typed: anything
+        with ``deployers``, ``check(receiver, sender, path)`` and
+        ``compiled_checker(table)``).  Every deployed AS evaluates the
+        policy on each offer before its decision process — policy
+        first, then any stacked import filter
+        (:func:`repro.bgp.decision.admit_offer`).  ``None`` (the
+        default) is the exact pristine code path.
 
         ``activation`` selects the worklist discipline: ``"fifo"`` (the
         default, and the order every reproduction artefact is pinned
@@ -522,6 +532,7 @@ class PropagationEngine:
                 seed=seed,
                 activation=activation,
                 activation_rng=activation_rng,
+                secpol=secpol,
                 incremental=incremental,
                 max_activations=self._max_activations,
                 metrics=self.metrics,
@@ -562,6 +573,18 @@ class PropagationEngine:
         stock_export = type(export_policy) is ExportPolicy
         violators = export_policy.violators
         pad_senders = prepending.senders()
+
+        # Security-policy deployment: deployed receivers take the full
+        # decision scan (same branch as import-filtered receivers), with
+        # the policy applied per offer inside it.
+        sec_check = None
+        sec_deployed: frozenset[int] = frozenset()
+        if secpol is not None:
+            sec_check = secpol.check
+            sec_deployed = frozenset(
+                a for a in secpol.deployers if self._contains(a)
+            )
+        sec_stats = [0, 0]  # offers evaluated / offers filtered
 
         # Telemetry is accumulated in locals and flushed once at the
         # end, so an enabled registry costs one branch per activation
@@ -657,10 +680,17 @@ class PropagationEngine:
                     continue  # the owner always keeps its own route
                 current = best[neighbor]
                 import_filter = import_filters.get(neighbor)
-                if import_filter is not None or not incremental:
+                if import_filter is not None or neighbor in sec_deployed or not incremental:
                     if track:
                         fastpath_misses += 1
-                    new_best, new_key = self._decide(neighbor, prefix, rib, import_filter)
+                    new_best, new_key = self._decide(
+                        neighbor,
+                        prefix,
+                        rib,
+                        import_filter,
+                        sec_check if neighbor in sec_deployed else None,
+                        sec_stats,
+                    )
                 elif offer is None:
                     if current is not None and current.learned_from == sender:
                         # The best offer was withdrawn: full re-decision.
@@ -730,6 +760,10 @@ class PropagationEngine:
             metrics.count(f"{ns}.best_changes", best_changes)
             metrics.observe(f"{ns}.convergence_rounds", max_round)
             metrics.observe(f"{ns}.queue_peak", peak_queue)
+            if secpol is not None:
+                metrics.count("secpol.evaluated", sec_stats[0])
+                metrics.count("secpol.filtered", sec_stats[1])
+                metrics.count("secpol.deployed_ases", len(sec_deployed))
 
         return PropagationOutcome(
             prefix=prefix,
@@ -748,24 +782,29 @@ class PropagationEngine:
         prefix: str,
         offers: Mapping[int, tuple[tuple[int, ...], PrefClass] | None],
         import_filter: ImportFilter | None = None,
+        sec_check: Callable[[int, int, tuple[int, ...]], bool] | None = None,
+        sec_stats: list[int] | None = None,
     ) -> tuple[Route | None, tuple[int, int, int] | None]:
         """Run the full decision process over ``receiver``'s Adj-RIB-in.
 
         Returns the selected route together with its preference key (the
         propagation loop keeps per-AS keys to decide most offer arrivals
         incrementally, and only falls back to this scan when the current
-        best offer worsened or an import filter is in play).
+        best offer worsened or a filter/policy is in play).
         """
         best_offer: tuple[tuple[int, ...], PrefClass] | None = None
         best_neighbor = -1
         best_key: tuple[int, int, int] | None = None
+        filtered = import_filter is not None or sec_check is not None
         for entry in self._adjacency[receiver]:
             neighbor = entry[0]
             offer = offers.get(neighbor)
             if offer is None:
                 continue
             path, pref = offer
-            if import_filter is not None and not import_filter(neighbor, path):
+            if filtered and not admit_offer(
+                receiver, neighbor, path, sec_check, import_filter, sec_stats
+            ):
                 continue
             key = (int(pref), len(path), neighbor)
             if best_key is None or key < best_key:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.topology.relationships import PrefClass, Relationship
 
-__all__ = ["ExportPolicy"]
+__all__ = ["ExportPolicy", "ImportPolicy"]
 
 #: Preference classes that may be exported to peers/providers.
 _EXPORTABLE_UPWARD = frozenset(
@@ -63,3 +63,28 @@ class ExportPolicy:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ExportPolicy(violators={sorted(self._violators)})"
+
+
+class ImportPolicy:
+    """Receiver-side admission contract for security policies.
+
+    Where :class:`ExportPolicy` governs what a *sender* announces, an
+    import policy is evaluated by the *receiver* on every offer in its
+    Adj-RIB-in before the decision process ranks it:
+    ``check(receiver, sender, path)`` returning False drops the offer
+    as if it were never announced.  Unlike the ad-hoc per-AS
+    ``import_filters`` callables (which only see ``(sender, path)``),
+    an import policy knows who is evaluating it — ASPA-style validation
+    needs the receiver's own relationship with the sender for the final
+    hop.  The deployment layer (:mod:`repro.secpol`) decides *which*
+    ASes evaluate the policy; the engines only ever see the combination
+    through a :class:`repro.secpol.SecurityDeployment`.
+
+    Admission order is fixed by :func:`repro.bgp.decision.admit_offer`:
+    security policy first, then any user import filter.
+    """
+
+    name = "abstract"
+
+    def check(self, receiver: int, sender: int, path: tuple[int, ...]) -> bool:
+        raise NotImplementedError

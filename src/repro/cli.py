@@ -185,6 +185,63 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_metrics_flags(campaign_parser)
 
+    secpol_parser = subparsers.add_parser(
+        "secpol-sweep",
+        help="sweep a security policy's deployment fraction against one "
+        "interception instance",
+    )
+    secpol_parser.add_argument(
+        "--policy", choices=("none", "rov", "aspa", "prependguard"),
+        default="prependguard",
+        help="security policy to deploy ('none' = undefended control)",
+    )
+    secpol_parser.add_argument(
+        "--strategy",
+        choices=("random", "top-degree-first", "tier1-only", "victim-cone"),
+        default="top-degree-first",
+        help="which ASes adopt the policy first",
+    )
+    secpol_parser.add_argument(
+        "--fractions", type=str, default="0.0,0.1,0.2,0.4,0.6,0.8,1.0",
+        metavar="F1,F2,...",
+        help="comma-separated deployment fractions in [0, 1]",
+    )
+    secpol_parser.add_argument("--seed", type=int, default=7)
+    secpol_parser.add_argument("--scale", type=float, default=1.0)
+    secpol_parser.add_argument("--padding", type=int, default=3)
+    secpol_parser.add_argument(
+        "--victim", type=int, default=None,
+        help="victim ASN (default: the top Tier-1 by customer cone)",
+    )
+    secpol_parser.add_argument(
+        "--attacker", type=int, default=None,
+        help="attacker ASN (default: the top Tier-2 transit AS)",
+    )
+    secpol_parser.add_argument(
+        "--valley-free", action="store_true",
+        help="restrict the attacker to valley-free exports (default is "
+        "the paper's leaking attacker, which path checks can see)",
+    )
+    secpol_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the deployment points",
+    )
+    secpol_parser.add_argument(
+        "--resume", type=str, default=None, metavar="PATH",
+        help="checkpoint journal for crash/resume; the policy, strategy, "
+        "fraction and seed are part of every task fingerprint, so a "
+        "journal from a different setup replays nothing",
+    )
+    secpol_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per point before the sweep fails (default 3)",
+    )
+    secpol_parser.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-point deadline in pool mode",
+    )
+    _add_metrics_flags(secpol_parser)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for experiment_id in REGISTRY:
@@ -194,6 +251,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _world(args)
     if args.command == "campaign":
         return _campaign(args, _make_metrics(args, parser))
+    if args.command == "secpol-sweep":
+        return _secpol_sweep(args, parser, _make_metrics(args, parser))
     overrides = {
         name: getattr(args, name, None)
         for name in ("seed", "scale", "pairs", "instances", "workers")
@@ -236,18 +295,91 @@ def _world(args) -> int:
     return 0
 
 
-def _campaign(args, metrics: RunMetrics | None = None) -> int:
-    from repro.core import InterceptionStudy
+def _retry_policy(args):
+    """Build the optional RetryPolicy from --retries/--task-deadline."""
     from repro.runner import RetryPolicy
 
-    retry = None
-    if args.retries is not None or args.task_deadline is not None:
-        policy_overrides = {}
-        if args.retries is not None:
-            policy_overrides["max_attempts"] = args.retries
-        if args.task_deadline is not None:
-            policy_overrides["deadline"] = args.task_deadline
-        retry = RetryPolicy(**policy_overrides)
+    if args.retries is None and args.task_deadline is None:
+        return None
+    policy_overrides = {}
+    if args.retries is not None:
+        policy_overrides["max_attempts"] = args.retries
+    if args.task_deadline is not None:
+        policy_overrides["deadline"] = args.task_deadline
+    return RetryPolicy(**policy_overrides)
+
+
+def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
+    from repro.core import InterceptionStudy
+    from repro.topology.tiers import classify_tiers, customer_cone
+    from repro.utils.tables import format_table
+
+    try:
+        fractions = tuple(
+            float(token) for token in args.fractions.split(",") if token.strip()
+        )
+    except ValueError:
+        parser.error(f"--fractions must be comma-separated floats: {args.fractions!r}")
+    if not fractions:
+        parser.error("--fractions must name at least one fraction")
+    study = InterceptionStudy.generate(
+        seed=args.seed, scale=args.scale, monitors=1
+    )
+    graph = study.world.graph
+    victim, attacker = args.victim, args.attacker
+    if victim is None:
+        victim = min(
+            study.world.tier1, key=lambda t: (-len(customer_cone(graph, t)), t)
+        )
+    if attacker is None:
+        tiers = classify_tiers(graph)
+        tier2 = [
+            asn
+            for asn in graph.ases
+            if tiers.get(asn) == 2 and asn != victim and graph.customers_of(asn)
+        ]
+        if not tier2:
+            parser.error("no Tier-2 transit AS available; pass --attacker")
+        attacker = min(tier2, key=lambda t: (-len(customer_cone(graph, t)), t))
+    results = study.deployment_sweep(
+        victim=victim,
+        attacker=attacker,
+        padding=args.padding,
+        policy=args.policy,
+        strategy=args.strategy,
+        fractions=fractions,
+        violate_policy=not args.valley_free,
+        workers=args.workers,
+        metrics=metrics,
+        resume=args.resume,
+        retry=_retry_policy(args),
+    )
+    print(
+        format_table(
+            ("deployed_frac", "deployed_ases", "before_%", "after_%"),
+            [
+                (
+                    result.fraction,
+                    result.deployed_count,
+                    round(result.row()[1], 1),
+                    round(result.row()[2], 1),
+                )
+                for result in results
+            ],
+            title=(
+                f"secpol-sweep: {args.policy}/{args.strategy} — "
+                f"AS{attacker} intercepts AS{victim} (λ={args.padding})"
+            ),
+        )
+    )
+    _emit_metrics(args, metrics)
+    return 0
+
+
+def _campaign(args, metrics: RunMetrics | None = None) -> int:
+    from repro.core import InterceptionStudy
+
+    retry = _retry_policy(args)
     study = InterceptionStudy.generate(
         seed=args.seed,
         scale=args.scale,

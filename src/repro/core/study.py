@@ -234,6 +234,50 @@ class InterceptionStudy:
             rng=rng or derive_rng(make_rng(self._seed), "study-deploy"),
         )
 
+    def deployment_sweep(
+        self,
+        *,
+        victim: int,
+        attacker: int,
+        padding: int,
+        policy: str,
+        strategy: str = "top-degree-first",
+        fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+        violate_policy: bool = True,
+        workers: int | None = None,
+        metrics: RunMetrics | None = None,
+        resume: str | None = None,
+        retry: RetryPolicy | None = None,
+    ):
+        """Residual pollution per deployment fraction of a security policy.
+
+        Deploys ``policy`` (``"rov"``, ``"aspa"``, ``"prependguard"``, or
+        ``"none"`` for the undefended control) on a ``strategy``-ranked,
+        nested deployer set at each fraction and returns the
+        :class:`~repro.runner.DeploymentPointResult` list in ``fractions``
+        order.  ``resume``/``retry``/``workers`` behave as in
+        :meth:`campaign`; the security configuration is part of every
+        task fingerprint, so a resumed journal from a different policy
+        setup replays nothing.
+        """
+        from repro.experiments.sweeps import deployment_sweep as run_sweep
+
+        return run_sweep(
+            self._engine,
+            victim=victim,
+            attacker=attacker,
+            padding=padding,
+            policy=policy,
+            strategy=strategy,
+            fractions=fractions,
+            seed=self._seed,
+            violate_policy=violate_policy,
+            workers=workers,
+            metrics=metrics,
+            checkpoint=resume,
+            retry=retry,
+        )
+
     def campaign(
         self,
         *,

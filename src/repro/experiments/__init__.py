@@ -31,6 +31,8 @@ from repro.experiments import (
     fig12_stub_vs_stub,
     fig13_detection_accuracy,
     fig14_pollution_before_detection,
+    figD1_deployment_sweep,
+    figD2_policy_tiers,
     table1_traceroute,
 )
 from repro.experiments.base import ExperimentResult, ExperimentWorld, build_world
@@ -54,6 +56,8 @@ REGISTRY: dict[str, tuple[Callable[[], object], Callable[..., ExperimentResult]]
         fig14_pollution_before_detection.Fig14Config,
         fig14_pollution_before_detection.run,
     ),
+    "figD1": (figD1_deployment_sweep.FigD1Config, figD1_deployment_sweep.run),
+    "figD2": (figD2_policy_tiers.FigD2Config, figD2_policy_tiers.run),
     "ablation-engine": (ablation_engine.AblationEngineConfig, ablation_engine.run),
     "ablation-monitors": (
         ablation_monitors.AblationMonitorsConfig,

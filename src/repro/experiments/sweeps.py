@@ -28,6 +28,8 @@ from repro.exceptions import SimulationError
 from repro.runner import (
     BaselineCache,
     CheckpointJournal,
+    DeploymentPointResult,
+    DeploymentPointTask,
     FaultPlan,
     RetryPolicy,
     SupervisedExecutor,
@@ -41,7 +43,7 @@ from repro.runner import (
 )
 from repro.telemetry.metrics import RunMetrics
 
-__all__ = ["padding_sweep", "pair_grid"]
+__all__ = ["padding_sweep", "pair_grid", "deployment_sweep"]
 
 
 def _prefetch_families(ctx: WorkerContext, tasks: Sequence[SweepPointTask]) -> None:
@@ -77,7 +79,8 @@ def _run_tasks(
     checkpoint: str | Path | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
-) -> list[SweepPointResult]:
+    fingerprint_context: str | None = None,
+) -> list:
     """Run sweep tasks serially on ``engine`` or across a process pool.
 
     With ``metrics`` enabled, the serial path records straight into the
@@ -110,6 +113,7 @@ def _run_tasks(
                         metrics=metrics,
                         retry=retry,
                         journal=journal,
+                        fingerprint_context=fingerprint_context,
                     ) as executor:
                         ctx = executor.context
                         assert ctx is not None
@@ -128,6 +132,7 @@ def _run_tasks(
             metrics=metrics if enabled else None,
             retry=retry,
             journal=journal,
+            fingerprint_context=fingerprint_context,
         ) as executor:
             return _raise_on_failures(executor.run(tasks))
     finally:
@@ -210,6 +215,66 @@ def pair_grid(
     tasks = [
         SweepPointTask(victim=victim, attacker=attacker, padding=origin_padding)
         for attacker, victim in pairs
+    ]
+    return _run_tasks(
+        engine,
+        tasks,
+        workers=workers,
+        cache=cache,
+        metrics=metrics,
+        checkpoint=checkpoint,
+        retry=retry,
+        faults=faults,
+    )
+
+
+def deployment_sweep(
+    engine: PropagationEngine,
+    *,
+    victim: int,
+    attacker: int,
+    padding: int,
+    policy: str,
+    strategy: str = "top-degree-first",
+    fractions: Sequence[float],
+    seed: int = 0,
+    violate_policy: bool = True,
+    workers: int | None = None,
+    cache: BaselineCache | None = None,
+    metrics: RunMetrics | None = None,
+    checkpoint: str | Path | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+) -> list[DeploymentPointResult]:
+    """Run the attack once per deployment fraction of a security policy.
+
+    Each point deploys ``policy`` (``"rov"``, ``"aspa"``,
+    ``"prependguard"``, or ``"none"`` for the undefended control) at
+    ``fraction`` of the ``strategy``'s candidate pool and measures
+    residual pollution; results come back in ``fractions`` order for
+    any worker count.  The honest baseline stays policy-free (one
+    cached convergence serves every fraction); the deployer sets are
+    nested across fractions, so the resulting curve is interpretable as
+    "what does one more deployment step buy".  ``violate_policy``
+    defaults to True — the paper's leaking attacker, the variant
+    path-plausibility defences can actually see.  See
+    :func:`padding_sweep` for ``workers``/``metrics``/``checkpoint``/
+    ``retry``/``faults``; the security configuration itself is carried
+    in the task fingerprints, so a resume against a journal from a
+    different policy setup replays nothing.
+    """
+    tasks = [
+        DeploymentPointTask(
+            victim=victim,
+            attacker=attacker,
+            padding=padding,
+            policy=policy,
+            strategy=strategy,
+            fraction=fraction,
+            seed=seed,
+            violate_policy=violate_policy,
+        )
+        for fraction in fractions
     ]
     return _run_tasks(
         engine,

@@ -46,6 +46,8 @@ from repro.runner.shm import (
 from repro.runner.supervisor import RetryPolicy, SupervisedExecutor, TaskFailure
 from repro.runner.tasks import (
     CampaignPairTask,
+    DeploymentPointResult,
+    DeploymentPointTask,
     SweepPointResult,
     SweepPointTask,
     WorkerContext,
@@ -56,6 +58,8 @@ __all__ = [
     "BaselineCache",
     "CampaignPairTask",
     "CheckpointJournal",
+    "DeploymentPointResult",
+    "DeploymentPointTask",
     "FaultPlan",
     "FaultSpec",
     "InjectedCrashError",

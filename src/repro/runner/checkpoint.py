@@ -36,16 +36,26 @@ from typing import Any
 __all__ = ["CheckpointJournal", "task_fingerprint"]
 
 
-def task_fingerprint(task: Any) -> str:
+def task_fingerprint(task: Any, context: str | None = None) -> str:
     """Deterministic identity of a task descriptor.
 
     Tasks are frozen dataclasses, so their ``repr`` enumerates every
     field in declaration order; hashing it together with the qualified
     type name yields a stable fingerprint across processes and runs
     (no ``PYTHONHASHSEED`` dependence) that changes whenever any input
-    of the task changes.
+    of the task changes.  Security-policy sweeps put the whole
+    deployment configuration (policy, strategy, fraction, seed) in the
+    task's frozen fields, so it is fingerprinted by construction.
+
+    ``context`` folds run-level configuration that lives *outside* the
+    task descriptor (an engine-level policy object, a custom world
+    build) into the digest, so ``--resume`` can never replay a
+    journaled result computed under a different setup that happened to
+    share the same task fields.
     """
     identity = f"{type(task).__module__}.{type(task).__qualname__}|{task!r}"
+    if context:
+        identity += f"|ctx:{context}"
     return hashlib.sha256(identity.encode("utf-8")).hexdigest()
 
 

@@ -162,9 +162,14 @@ class SupervisedExecutor:
         metrics: RunMetrics | None = None,
         retry: RetryPolicy | None = None,
         journal: CheckpointJournal | None = None,
+        fingerprint_context: str | None = None,
     ) -> None:
         self.retry = retry if retry is not None else RetryPolicy()
         self.journal = journal
+        #: folded into every task fingerprint (see
+        #: :func:`repro.runner.checkpoint.task_fingerprint`) so resumes
+        #: never cross run-level configuration boundaries.
+        self.fingerprint_context = fingerprint_context
         self._inner = SweepExecutor(
             spec,
             workers=workers,
@@ -227,7 +232,7 @@ class SupervisedExecutor:
         todo: list[_Item] = []
         resumed = 0
         for index, task in enumerate(tasks):
-            fp = task_fingerprint(task)
+            fp = task_fingerprint(task, self.fingerprint_context)
             if self.journal is not None and self.journal.completed(fp):
                 results[index] = self.journal.result_for(fp)
                 resumed += 1

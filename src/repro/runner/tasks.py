@@ -24,6 +24,15 @@ from repro.exceptions import SimulationError
 from repro.runner.cache import BaselineCache
 from repro.runner.faults import FaultPlan
 from repro.runner.shm import SharedTopologyHandle, attach_topology
+from repro.secpol.deployment import (
+    POLICIES,
+    STRATEGIES,
+    SecurityDeployment,
+    deployment_ranking,
+    make_policy,
+    select_deployers,
+)
+from repro.secpol.policies import SecurityPolicy, padding_registry
 from repro.telemetry.metrics import RunMetrics
 from repro.topology.asgraph import ASGraph
 
@@ -32,6 +41,8 @@ __all__ = [
     "WorkerContext",
     "SweepPointTask",
     "SweepPointResult",
+    "DeploymentPointTask",
+    "DeploymentPointResult",
     "CampaignPairTask",
 ]
 
@@ -133,6 +144,13 @@ class WorkerContext:
         self._monitors = spec.monitors
         self._collector: RouteCollector | None = None
         self._detector: ASPPInterceptionDetector | None = None
+        # Security-policy working set, memoised per worker: strategy
+        # rankings and padding registries are pure functions of the
+        # topology/baseline, so a deployment sweep builds each once and
+        # every fraction slices or reuses it.
+        self._secpol_rankings: dict[tuple[str, int, int], tuple[int, ...]] = {}
+        self._secpol_registries: dict[tuple[int, str, int], dict[int, int]] = {}
+        self._secpol_policies: dict[tuple[str, int, str, int], SecurityPolicy] = {}
 
     @property
     def graph(self) -> ASGraph:
@@ -156,6 +174,60 @@ class WorkerContext:
         if self._detector is None:
             self._detector = ASPPInterceptionDetector(self.graph)
         return self._detector
+
+    # -- security-policy deployment helpers -----------------------------
+    def deployment_ranking(
+        self, strategy: str, *, victim: int, seed: int = 0
+    ) -> tuple[int, ...]:
+        """Memoised :func:`repro.secpol.deployment_ranking` over this
+        worker's topology."""
+        key = (strategy, victim, seed)
+        ranking = self._secpol_rankings.get(key)
+        if ranking is None:
+            ranking = deployment_ranking(
+                self.graph, strategy, victim=victim, seed=seed
+            )
+            self._secpol_rankings[key] = ranking
+        return ranking
+
+    def padding_registry_for(
+        self, victim: int, *, prefix: str = DEFAULT_PREFIX, padding: int = 1
+    ) -> dict[int, int]:
+        """Memoised honest-baseline padding registry (PrependGuard)."""
+        key = (victim, prefix, padding)
+        registry = self._secpol_registries.get(key)
+        if registry is None:
+            prepending = PrependingPolicy.uniform_origin(victim, padding)
+            baseline = self.cache.baseline(
+                victim, prefix=prefix, prepending=prepending
+            )
+            registry = padding_registry(baseline, victim)
+            self._secpol_registries[key] = registry
+        return registry
+
+    def security_policy(
+        self,
+        name: str,
+        *,
+        victim: int,
+        prefix: str = DEFAULT_PREFIX,
+        padding: int = 1,
+    ) -> SecurityPolicy:
+        """Memoised policy instance, so the compiled checker's per-path
+        verdict memo survives across the sweep's fractions."""
+        key = (name, victim, prefix, padding if name == "prependguard" else 0)
+        policy = self._secpol_policies.get(key)
+        if policy is None:
+            registry = (
+                self.padding_registry_for(victim, prefix=prefix, padding=padding)
+                if name == "prependguard"
+                else None
+            )
+            policy = make_policy(
+                name, graph=self.graph, victim=victim, registry=registry
+            )
+            self._secpol_policies[key] = policy
+        return policy
 
 
 @dataclass(frozen=True)
@@ -208,6 +280,120 @@ class SweepPointTask:
             attacker=self.attacker,
             victim=self.victim,
             padding=self.padding,
+            before_fraction=result.report.before_fraction,
+            after_fraction=result.report.after_fraction,
+            attacker_kept_route=result.attacker_has_route,
+        )
+
+
+@dataclass(frozen=True)
+class DeploymentPointResult:
+    """Impact of one deployment-sweep point."""
+
+    attacker: int
+    victim: int
+    padding: int
+    policy: str
+    strategy: str
+    fraction: float
+    #: ASes that actually deployed the policy (after exclusions and
+    #: rounding; 0 for the "none" policy or a fraction rounding to zero).
+    deployed_count: int
+    before_fraction: float
+    after_fraction: float
+    attacker_kept_route: bool
+
+    def row(self) -> tuple[float, float, float]:
+        """The ``(deployment fraction, before%, after%)`` figure row."""
+        return (self.fraction, 100 * self.before_fraction, 100 * self.after_fraction)
+
+
+@dataclass(frozen=True)
+class DeploymentPointTask:
+    """One interception instance under a partial policy deployment.
+
+    The whole security configuration (policy, strategy, fraction, seed)
+    lives in frozen fields, so the checkpoint fingerprint covers it by
+    construction — a ``--resume`` against a journal written under a
+    different secpol setup replays nothing.  ``violate_policy``
+    defaults to True (the paper's Figures 11-12 attacker): the
+    canonical valley-free attack is exactly the case path-plausibility
+    defences cannot see, so the leaking variant is the one that
+    separates the policies.
+    """
+
+    victim: int
+    attacker: int
+    padding: int
+    policy: str = "none"
+    strategy: str = "top-degree-first"
+    fraction: float = 0.0
+    seed: int = 0
+    violate_policy: bool = True
+    strip_mode: str = "origin"
+    keep: int = 1
+    prefix: str = DEFAULT_PREFIX
+
+    def __post_init__(self) -> None:
+        if self.policy != "none" and self.policy not in POLICIES:
+            raise SimulationError(
+                f"unknown security policy {self.policy!r}; expected 'none' "
+                f"or one of {POLICIES}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise SimulationError(
+                f"unknown deployment strategy {self.strategy!r}; expected "
+                f"one of {STRATEGIES}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise SimulationError(
+                f"deployment fraction must be in [0, 1], got {self.fraction}"
+            )
+
+    def run(self, ctx: WorkerContext) -> DeploymentPointResult:
+        prepending = PrependingPolicy.uniform_origin(self.victim, self.padding)
+        baseline = ctx.cache.baseline(
+            self.victim, prefix=self.prefix, prepending=prepending
+        )
+        secpol = None
+        if self.policy != "none" and self.fraction > 0.0:
+            ranking = ctx.deployment_ranking(
+                self.strategy, victim=self.victim, seed=self.seed
+            )
+            deployers = select_deployers(
+                ranking, self.fraction, exclude=(self.victim, self.attacker)
+            )
+            if deployers:
+                secpol = SecurityDeployment(
+                    ctx.security_policy(
+                        self.policy,
+                        victim=self.victim,
+                        prefix=self.prefix,
+                        padding=self.padding,
+                    ),
+                    deployers,
+                )
+        result = simulate_interception(
+            ctx.engine,
+            victim=self.victim,
+            attacker=self.attacker,
+            origin_padding=self.padding,
+            prefix=self.prefix,
+            strip_mode=self.strip_mode,
+            keep=self.keep,
+            violate_policy=self.violate_policy,
+            prepending=prepending,
+            baseline=baseline,
+            secpol=secpol,
+        )
+        return DeploymentPointResult(
+            attacker=self.attacker,
+            victim=self.victim,
+            padding=self.padding,
+            policy=self.policy,
+            strategy=self.strategy,
+            fraction=self.fraction,
+            deployed_count=0 if secpol is None else len(secpol.deployers),
             before_fraction=result.report.before_fraction,
             after_fraction=result.report.after_fraction,
             attacker_kept_route=result.attacker_has_route,

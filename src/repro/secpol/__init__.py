@@ -1,0 +1,46 @@
+"""Security-policy deployment layer (ROV, ASPA-like, PrependGuard).
+
+The paper's thesis is that ASPP-based interception forges neither the
+origin nor any AS link — which is precisely what makes origin
+validation blind to it.  This package lets the simulation *show* that:
+:mod:`repro.secpol.policies` implements the receiver-side policies
+(each evaluable in tuple space for the reference engine and in interned
+pid space for the compiled core), and :mod:`repro.secpol.deployment`
+assigns a policy to a swept fraction of ASes under named deployment
+strategies.  The resulting :class:`SecurityDeployment` plugs into
+``PropagationEngine.propagate(..., secpol=)`` on either backend, and
+the ``deployment_sweep`` experiment family (fig-D1/fig-D2) quantifies
+residual pollution per policy × strategy × fraction.
+"""
+
+from repro.secpol.deployment import (
+    POLICIES,
+    STRATEGIES,
+    SecurityDeployment,
+    build_deployment,
+    deployment_ranking,
+    make_policy,
+    select_deployers,
+)
+from repro.secpol.policies import (
+    AspaPolicy,
+    PrependGuardPolicy,
+    RovPolicy,
+    SecurityPolicy,
+    padding_registry,
+)
+
+__all__ = [
+    "POLICIES",
+    "STRATEGIES",
+    "AspaPolicy",
+    "PrependGuardPolicy",
+    "RovPolicy",
+    "SecurityDeployment",
+    "SecurityPolicy",
+    "build_deployment",
+    "deployment_ranking",
+    "make_policy",
+    "padding_registry",
+    "select_deployers",
+]

@@ -20,6 +20,7 @@ from repro.attack.interception import simulate_interception
 from repro.bgp.compiled import CompiledTopology, InternTable
 from repro.bgp.engine import PropagationEngine
 from repro.bgp.prepending import PrependingPolicy
+from repro.secpol import build_deployment
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
 
 TINY = InternetTopologyConfig(
@@ -192,6 +193,158 @@ class TestInternTable:
         pid = table.intern_tuple((foreign, world.graph.ases[0]))
         assert table.reify(pid) == (foreign, world.graph.ases[0])
         assert table.index_of(foreign) >= topo.n
+
+
+class TestSecpolDifferential:
+    """Security policies force the full-decide branch at deployed
+    receivers; the compiled pid-space checkers must agree with the
+    reference tuple-space checks on every outcome field."""
+
+    @staticmethod
+    def _attack(engine, world, *, victim, attacker, secpol, violate=True):
+        return simulate_interception(
+            engine,
+            victim=victim,
+            attacker=attacker,
+            origin_padding=3,
+            violate_policy=violate,
+            secpol=secpol,
+        )
+
+    @staticmethod
+    def _deployment(engine, world, *, policy, strategy, fraction, victim, attacker):
+        baseline = None
+        if policy == "prependguard":
+            baseline = engine.propagate(
+                victim, prepending=PrependingPolicy.uniform_origin(victim, 3)
+            )
+        return build_deployment(
+            engine.graph,
+            policy=policy,
+            strategy=strategy,
+            fraction=fraction,
+            victim=victim,
+            attacker=attacker,
+            baseline=baseline,
+        )
+
+    @pytest.mark.parametrize("policy", ["rov", "aspa", "prependguard"])
+    @pytest.mark.parametrize(
+        "strategy", ["random", "top-degree-first", "tier1-only", "victim-cone"]
+    )
+    def test_policy_attacks_identical(self, policy, strategy):
+        world, rng, ref_engine, cmp_engine = _engines(20_0825)
+        victim = world.tier1[0]
+        attacker = world.tier2[0]
+        results = []
+        for engine in (ref_engine, cmp_engine):
+            secpol = self._deployment(
+                engine,
+                world,
+                policy=policy,
+                strategy=strategy,
+                fraction=0.6,
+                victim=victim,
+                attacker=attacker,
+            )
+            assert secpol is not None
+            results.append(
+                self._attack(
+                    engine, world, victim=victim, attacker=attacker, secpol=secpol
+                )
+            )
+        ref, cmp = results
+        _assert_outcomes_identical(ref.baseline, cmp.baseline)
+        _assert_outcomes_identical(ref.attacked, cmp.attacked)
+        assert ref.report == cmp.report
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        fraction=st.sampled_from([0.2, 0.6, 1.0]),
+        violate=st.booleans(),
+    )
+    def test_random_scenarios_identical(self, seed, fraction, violate):
+        world, rng, ref_engine, cmp_engine = _engines(seed)
+        victim = rng.choice(world.graph.ases)
+        attacker = rng.choice([a for a in world.transit_ases if a != victim])
+        policy = rng.choice(["rov", "aspa", "prependguard"])
+        results = []
+        for engine in (ref_engine, cmp_engine):
+            secpol = self._deployment(
+                engine,
+                world,
+                policy=policy,
+                strategy="random",
+                fraction=fraction,
+                victim=victim,
+                attacker=attacker,
+            )
+            results.append(
+                self._attack(
+                    engine,
+                    world,
+                    victim=victim,
+                    attacker=attacker,
+                    secpol=secpol,
+                    violate=violate,
+                )
+            )
+        ref, cmp = results
+        _assert_outcomes_identical(ref.attacked, cmp.attacked)
+        assert ref.report == cmp.report
+
+    def test_fraction_zero_is_the_pristine_code_path(self):
+        """The 0%-deployment tripwire: build_deployment returns None and
+        the attack outcome is bit-identical to one run without any
+        security plumbing at all, on both backends."""
+        world, rng, ref_engine, cmp_engine = _engines(31_337)
+        victim = world.tier1[0]
+        attacker = world.tier2[0]
+        for engine in (ref_engine, cmp_engine):
+            secpol = self._deployment(
+                engine,
+                world,
+                policy="aspa",
+                strategy="top-degree-first",
+                fraction=0.0,
+                victim=victim,
+                attacker=attacker,
+            )
+            assert secpol is None
+            with_arg = self._attack(
+                engine, world, victim=victim, attacker=attacker, secpol=secpol
+            )
+            without = self._attack(
+                engine, world, victim=victim, attacker=attacker, secpol=None
+            )
+            _assert_outcomes_identical(with_arg.attacked, without.attacked)
+            assert with_arg.report == without.report
+
+    def test_rov_full_deployment_equals_no_defense(self):
+        """The negative control is an equality, not a tendency: ROV at
+        100% deployment produces the *same* attacked outcome as no
+        defense, because interception never forges the origin."""
+        world, rng, ref_engine, cmp_engine = _engines(55)
+        victim = world.tier1[0]
+        attacker = world.tier2[0]
+        for engine in (ref_engine, cmp_engine):
+            secpol = self._deployment(
+                engine,
+                world,
+                policy="rov",
+                strategy="top-degree-first",
+                fraction=1.0,
+                victim=victim,
+                attacker=attacker,
+            )
+            defended = self._attack(
+                engine, world, victim=victim, attacker=attacker, secpol=secpol
+            )
+            undefended = self._attack(
+                engine, world, victim=victim, attacker=attacker, secpol=None
+            )
+            _assert_outcomes_identical(defended.attacked, undefended.attacked)
 
 
 class TestCompiledTopologyTransport:

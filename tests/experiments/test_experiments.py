@@ -226,3 +226,46 @@ class TestAblations:
             AblationFalsePositivesConfig(scale=SCALE, events=25, monitors=60),
         )
         assert result.summary["high_confidence_false_alarms"] == 0
+
+    def test_figD1_rov_flat_while_path_policies_descend(self):
+        from repro.experiments.figD1_deployment_sweep import FigD1Config
+
+        result = run_experiment(
+            "figD1",
+            FigD1Config(
+                scale=SCALE,
+                fractions=(0.0, 0.5, 1.0),
+                strategies=("top-degree-first",),
+            ),
+        )
+        assert result.summary["rov_max_abs_deviation_pct"] == 0.0
+        assert result.summary["aspa_monotone_top_degree"] == 1.0
+        assert result.summary["prependguard_monotone_top_degree"] == 1.0
+        assert (
+            result.summary["prependguard_residual_pct_full"]
+            < result.summary["control_after_pct"]
+        )
+        # one control row + 3 policies x 1 strategy x 3 fractions
+        assert len(result.rows) == 1 + 9
+        fraction_zero = [row for row in result.rows if row[2] == 0.0]
+        control_after = fraction_zero[0][3]
+        assert all(row[3] == control_after for row in fraction_zero)
+
+    def test_figD2_grid_covers_every_policy_per_pair(self):
+        from repro.experiments.figD2_policy_tiers import FigD2Config
+
+        result = run_experiment(
+            "figD2",
+            FigD2Config(scale=SCALE, attacker_tiers=(1, 2), victim_tiers=(1, 2)),
+        )
+        assert result.summary["rov_max_abs_deviation_pct"] == 0.0
+        assert result.summary["pairs"] == 4.0
+        assert len(result.rows) == 4 * 4  # pairs x policies
+        assert (
+            result.summary["prependguard_mean_after_pct"]
+            <= result.summary["none_mean_after_pct"]
+        )
+        assert (
+            result.summary["rov_mean_after_pct"]
+            == result.summary["none_mean_after_pct"]
+        )

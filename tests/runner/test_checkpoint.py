@@ -9,6 +9,7 @@ import pytest
 from repro.runner import (
     CampaignPairTask,
     CheckpointJournal,
+    DeploymentPointTask,
     RetryPolicy,
     SupervisedExecutor,
     SweepPointTask,
@@ -36,6 +37,40 @@ class TestFingerprints:
         """Same field values, different task class: different identity."""
         campaign = CampaignPairTask(attacker=20, victim=10, padding=3)
         assert task_fingerprint(TASK) != task_fingerprint(campaign)
+
+    def test_covers_every_security_policy_field(self):
+        """The whole deployment configuration lives in frozen task
+        fields, so two sweep points that differ only in policy,
+        strategy, fraction or selection seed can never replay each
+        other's journaled result."""
+        base = dict(victim=10, attacker=20, padding=3)
+        variants = [
+            DeploymentPointTask(**base),
+            DeploymentPointTask(**base, policy="rov", fraction=0.5),
+            DeploymentPointTask(**base, policy="aspa", fraction=0.5),
+            DeploymentPointTask(**base, policy="prependguard", fraction=0.5),
+            DeploymentPointTask(
+                **base, policy="aspa", fraction=0.5, strategy="random"
+            ),
+            DeploymentPointTask(
+                **base, policy="aspa", fraction=0.5, strategy="random", seed=1
+            ),
+            DeploymentPointTask(**base, policy="aspa", fraction=0.25),
+            DeploymentPointTask(
+                **base, policy="aspa", fraction=0.5, violate_policy=False
+            ),
+        ]
+        fingerprints = {task_fingerprint(task) for task in variants}
+        assert len(fingerprints) == len(variants)
+
+    def test_context_changes_the_fingerprint(self):
+        """Run-level configuration outside the task descriptor folds in
+        through ``context`` — a resume under a different setup that
+        shares the task fields must not replay."""
+        assert task_fingerprint(TASK) == task_fingerprint(TASK, None)
+        assert task_fingerprint(TASK) == task_fingerprint(TASK, "")
+        assert task_fingerprint(TASK) != task_fingerprint(TASK, "custom-world")
+        assert task_fingerprint(TASK, "a") != task_fingerprint(TASK, "b")
 
 
 class TestJournal:
@@ -105,7 +140,7 @@ class TestResume:
             for p in self.PADDINGS
         ]
 
-    def _run(self, world, tasks, journal_path, metrics):
+    def _run(self, world, tasks, journal_path, metrics, *, context=None):
         spec = WorkerSpec(world.graph, metrics_enabled=True)
         journal = CheckpointJournal(journal_path)
         try:
@@ -115,6 +150,7 @@ class TestResume:
                 metrics=metrics,
                 retry=RetryPolicy(backoff_base=0.01),
                 journal=journal,
+                fingerprint_context=context,
             ) as executor:
                 return executor.run(tasks)
         finally:
@@ -163,6 +199,30 @@ class TestResume:
         self._run(small_world, other_tasks, path, metrics)
         assert metrics.counter_value("worker.tasks") == len(other_tasks)
         assert metrics.counter_value("runner.resumed_tasks") == 0
+
+    def test_fingerprint_context_prevents_cross_setup_replay(
+        self, small_world, tmp_path
+    ):
+        """The same tasks under a different run-level context compute
+        fresh results; the same context replays them all."""
+        tasks = self._tasks(small_world)
+        path = tmp_path / "sweep.jsonl"
+        reference = self._run(
+            small_world, tasks, path, RunMetrics(), context="setup-a"
+        )
+
+        other = RunMetrics()
+        self._run(small_world, tasks, path, other, context="setup-b")
+        assert other.counter_value("worker.tasks") == len(tasks)
+        assert other.counter_value("runner.resumed_tasks") == 0
+
+        same = RunMetrics()
+        replayed = self._run(
+            small_world, tasks, path, same, context="setup-a"
+        )
+        assert replayed == reference
+        assert same.counter_value("worker.tasks") == 0
+        assert same.counter_value("runner.resumed_tasks") == len(tasks)
 
 
 class TestValidation:

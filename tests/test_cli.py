@@ -252,3 +252,66 @@ class TestResilienceFlags:
         assert main(self.ARGS + ["--resume", str(journal)]) == 0
         assert capsys.readouterr().out == reference
         assert len(journal.read_text().splitlines()) == len(lines)
+
+
+class TestSecpolSweepCommand:
+    """The ``secpol-sweep`` deployment-fraction surface."""
+
+    ARGS = ["secpol-sweep", "--scale", "0.15", "--fractions", "0.0,1.0"]
+
+    @staticmethod
+    def _after_column(out: str) -> list[str]:
+        rows = [
+            line.split()
+            for line in out.splitlines()
+            if line and line[0].isdigit()
+        ]
+        return [row[-1] for row in rows]
+
+    def test_prints_one_row_per_fraction(self, capsys):
+        assert main(self.ARGS + ["--policy", "prependguard"]) == 0
+        out = capsys.readouterr().out
+        assert "secpol-sweep: prependguard/top-degree-first" in out
+        assert len(self._after_column(out)) == 2
+
+    def test_rov_equals_the_undefended_control(self, capsys):
+        main(self.ARGS + ["--policy", "none"])
+        control = self._after_column(capsys.readouterr().out)
+        main(self.ARGS + ["--policy", "rov"])
+        rov = self._after_column(capsys.readouterr().out)
+        assert rov == control
+
+    def test_full_prependguard_reduces_pollution(self, capsys):
+        main(self.ARGS + ["--policy", "prependguard"])
+        after = [float(v) for v in self._after_column(capsys.readouterr().out)]
+        assert after[1] < after[0]
+
+    def test_metrics_summary_includes_secpol_counters(self, capsys):
+        assert main(
+            self.ARGS + ["--policy", "aspa", "--metrics", "summary"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "secpol.evaluated" in out
+        assert "secpol.deployed_ases" in out
+
+    def test_resume_writes_and_replays_the_journal(self, capsys, tmp_path):
+        journal = tmp_path / "secpol.jsonl"
+        args = self.ARGS + ["--policy", "aspa", "--resume", str(journal)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 2
+
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert journal.read_text().splitlines() == lines
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--policy", "bgpsec"])
+
+    def test_malformed_fractions_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["secpol-sweep", "--fractions", "0.5,huge"])
+        with pytest.raises(SystemExit):
+            main(["secpol-sweep", "--fractions", ","])
