@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.bgp.delta import DeltaState, DerivedUniformState
 from repro.bgp.engine import PropagationOutcome
 
 __all__ = ["PollutionReport", "fraction_traversing", "pollution_report"]
@@ -69,6 +70,31 @@ class PollutionReport:
         return self.after_fraction - self.before_fraction
 
 
+def _member_indices(state, attacker_idx: int, bit: int) -> frozenset[int]:
+    """Indices whose selected path traverses the attacker, memoised on
+    the (immutable, converged) compiled state per attacker.
+
+    A λ-sweep reports against the same canonical state eight times and
+    a pair grid revisits each victim's baseline once per attacker, so
+    the memo turns the report's baseline half into a dict hit.
+    """
+    cache = state._trav
+    if cache is None:
+        cache = state._trav = {}
+    members = cache.get(attacker_idx)
+    if members is None:
+        mask = state.table.mask
+        best_pref = state.best_pref
+        best_pid = state.best_pid
+        members = frozenset(
+            i
+            for i in range(state.table.topo.n)
+            if best_pref[i] >= 0 and mask[best_pid[i]] & bit
+        )
+        cache[attacker_idx] = members
+    return members
+
+
 def _compiled_traversal_sets(
     baseline: PropagationOutcome,
     attacked: PropagationOutcome,
@@ -84,6 +110,14 @@ def _compiled_traversal_sets(
     "does this AS's path traverse the attacker?" is one mask AND per AS
     instead of a tuple scan, and the result is exactly the membership
     test on the reified path.
+
+    Delta-propagated outcomes get a further cut: attacker membership is
+    λ-invariant (a uniform-λ rewrite only pads the victim's trailing
+    run), so a :class:`~repro.bgp.delta.DerivedUniformState` baseline is
+    measured on its canonical arrays without ever materialising the
+    derivation, and a :class:`~repro.bgp.delta.DeltaState` attack's
+    after-set is the baseline membership patched over the overlay's
+    touched rows — O(affected cone) instead of O(topology).
     """
     base_state = baseline.compiled_state
     attack_state = attacked.compiled_state
@@ -101,21 +135,38 @@ def _compiled_traversal_sets(
     bit = 1 << attacker_idx
     mask = base_state.table.mask
     asn_of = topo.asn
-    base_pref = base_state.best_pref
-    base_pid = base_state.best_pid
-    attack_pref = attack_state.best_pref
-    attack_pid = attack_state.best_pid
-    num_ases = 0
-    before: set[int] = set()
-    after: set[int] = set()
-    for i in range(topo.n):
-        if i == attacker_idx or i == victim_idx:
-            continue
-        num_ases += 1
-        if base_pref[i] >= 0 and mask[base_pid[i]] & bit:
-            before.add(asn_of[i])
-        if attack_pref[i] >= 0 and mask[attack_pid[i]] & bit:
-            after.add(asn_of[i])
+    n = topo.n
+    # The canonical arrays carry the same attacker membership as any
+    # λ-derivation of them; reading through keeps the derived baseline
+    # lazy and shares one membership memo across the whole λ family.
+    base_read = (
+        base_state.canonical
+        if isinstance(base_state, DerivedUniformState)
+        else base_state
+    )
+    before_idx = _member_indices(base_read, attacker_idx, bit)
+    if isinstance(attack_state, DeltaState) and attack_state.base is base_read:
+        # O(touched): everything outside the overlay kept its baseline
+        # row, so only overlay entries can flip membership.
+        after_set = set(before_idx)
+        over_pid = attack_state.over_best_pid
+        for i, pref in attack_state.over_best_pref.items():
+            if pref >= 0 and mask[over_pid[i]] & bit:
+                after_set.add(i)
+            else:
+                after_set.discard(i)
+    else:
+        attack_pref = attack_state.best_pref
+        attack_pid = attack_state.best_pid
+        after_set = {
+            i
+            for i in range(n)
+            if attack_pref[i] >= 0 and mask[attack_pid[i]] & bit
+        }
+    excluded = {attacker_idx} if victim_idx is None else {attacker_idx, victim_idx}
+    num_ases = n - len(excluded)
+    before = {asn_of[i] for i in before_idx if i not in excluded}
+    after = {asn_of[i] for i in after_set if i not in excluded}
     return num_ases, before, after
 
 

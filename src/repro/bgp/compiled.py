@@ -460,7 +460,15 @@ class CompiledState:
     (``PropagationOutcome.__getstate__`` drops it).
     """
 
-    __slots__ = ("table", "best_pref", "best_pid", "best_from", "rib_pid", "rib_pref")
+    __slots__ = (
+        "table",
+        "best_pref",
+        "best_pid",
+        "best_from",
+        "rib_pid",
+        "rib_pref",
+        "_trav",
+    )
 
     def __init__(
         self,
@@ -477,6 +485,10 @@ class CompiledState:
         self.best_from = best_from
         self.rib_pid = rib_pid
         self.rib_pref = rib_pref
+        #: per-attacker traversal membership memo (lazily created by
+        #: :mod:`repro.attack.impact`); converged states are immutable,
+        #: so the memo never invalidates.
+        self._trav: dict[int, frozenset[int]] | None = None
 
     @property
     def topo(self) -> CompiledTopology:

@@ -280,6 +280,7 @@ class PropagationEngine:
         max_activations: int = 50,
         metrics: RunMetrics | None = None,
         backend: str = "compiled",
+        mode: str = "full",
     ) -> None:
         """``max_activations`` bounds the worklist to that many
         activations *per AS* before :class:`ConvergenceError` is raised
@@ -298,6 +299,16 @@ class PropagationEngine:
         bit-identical on every outcome field — the compiled-vs-
         reference differential suite pins that — so the switch is purely
         a speed/debuggability trade.
+
+        ``mode`` selects how warm-started propagations are executed on
+        the compiled backend: ``"full"`` (the default, and the oracle)
+        recomputes over copied baseline arrays; ``"delta"`` runs
+        :func:`repro.bgp.delta.run_delta` — copy-on-write overlays over
+        the converged baseline, touching only the attack's cone — and
+        falls back to the full recompute whenever a run's inputs cannot
+        take the delta path (cold runs, foreign warm starts, origin
+        reseeds).  Delta results are bit-identical to full ones; the
+        differential suite pins that too.
         """
         if max_activations < 1:
             raise SimulationError("max_activations must be positive")
@@ -305,6 +316,11 @@ class PropagationEngine:
             raise SimulationError(
                 f"backend must be 'compiled' or 'reference', got {backend!r}"
             )
+        if mode not in ("full", "delta"):
+            raise SimulationError(f"mode must be 'full' or 'delta', got {mode!r}")
+        if mode == "delta" and backend != "compiled":
+            raise SimulationError("mode='delta' requires the compiled backend")
+        self._mode = mode
         self._graph: ASGraph | None = graph
         self._max_activations = max_activations
         self.metrics = metrics
@@ -327,6 +343,7 @@ class PropagationEngine:
         *,
         max_activations: int = 50,
         metrics: RunMetrics | None = None,
+        mode: str = "full",
     ) -> "PropagationEngine":
         """An engine over pre-compiled arrays, without an ASGraph.
 
@@ -338,10 +355,13 @@ class PropagationEngine:
         engine = cls.__new__(cls)
         if max_activations < 1:
             raise SimulationError("max_activations must be positive")
+        if mode not in ("full", "delta"):
+            raise SimulationError(f"mode must be 'full' or 'delta', got {mode!r}")
         engine._graph = None
         engine._max_activations = max_activations
         engine.metrics = metrics
         engine._backend = "compiled"
+        engine._mode = mode
         engine._adjacency = None
         engine._topo = topo
         engine._tables = OrderedDict()
@@ -390,6 +410,10 @@ class PropagationEngine:
     @property
     def backend(self) -> str:
         return self._backend
+
+    @property
+    def mode(self) -> str:
+        return self._mode
 
     @property
     def max_activations(self) -> int:
@@ -519,6 +543,31 @@ class PropagationEngine:
                 table = state.table
             else:
                 table = self._table_for(origin)
+            if self._mode == "delta" and warm_start is not None:
+                from repro.bgp.delta import run_delta
+
+                outcome = run_delta(
+                    self._topo,
+                    table,
+                    origin=origin,
+                    prefix=prefix,
+                    prepending=prepending,
+                    modifiers=modifiers,
+                    export_policy=export_policy,
+                    import_filters=import_filters,
+                    warm_start=warm_start,
+                    seed=seed,
+                    activation=activation,
+                    activation_rng=activation_rng,
+                    secpol=secpol,
+                    incremental=incremental,
+                    max_activations=self._max_activations,
+                    metrics=self.metrics,
+                )
+                if outcome is not None:
+                    return outcome
+                if self.metrics is not None and self.metrics.enabled:
+                    self.metrics.count("engine.delta.fallbacks")
             return run_compiled(
                 self._topo,
                 table,

@@ -23,6 +23,14 @@ telemetry as an aligned table after the results, ``jsonl`` emits the
 JSONL event log — to stdout, or to ``--metrics-out PATH`` (which
 requires ``--metrics jsonl``).  Metrics never change the results: the
 artefact text is bit-identical with metrics on or off.
+
+``campaign``, ``grid`` and ``secpol-sweep`` accept ``--engine-mode
+{full,delta}`` (default ``full``): ``delta`` re-converges each attack
+incrementally from the cached baseline instead of re-flooding the
+whole topology — results are bit-identical either way (the delta core
+is oracle-tested against the full engine in CI), only the wall-clock
+changes.  ``grid`` runs the exhaustive attacker × victim product at a
+fixed λ, which is the workload delta mode exists for.
 """
 
 from __future__ import annotations
@@ -80,6 +88,15 @@ def _add_metrics_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--metrics-out", type=str, default=None, metavar="PATH",
         help="write the JSONL event log to PATH (requires --metrics jsonl)",
+    )
+
+
+def _add_engine_mode_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--engine-mode", choices=("full", "delta"), default="full",
+        help="warm-propagation strategy: 'delta' re-converges only the "
+        "attacker's affected cone from the cached baseline (bit-identical "
+        "results, less wall-clock on dense grids)",
     )
 
 
@@ -183,7 +200,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="per-instance deadline in pool mode: a hung worker is "
         "killed, the pool respawned, and the instance retried",
     )
+    _add_engine_mode_flag(campaign_parser)
     _add_metrics_flags(campaign_parser)
+
+    grid_parser = subparsers.add_parser(
+        "grid",
+        help="run the exhaustive attacker × victim interception grid "
+        "at a fixed λ",
+    )
+    grid_parser.add_argument("--seed", type=int, default=7)
+    grid_parser.add_argument("--scale", type=float, default=1.0)
+    grid_parser.add_argument("--padding", type=int, default=3)
+    grid_parser.add_argument(
+        "--attackers", type=int, default=None, metavar="N",
+        help="limit the attacker pool to the N largest transit ASes by "
+        "customer cone (default: every transit AS)",
+    )
+    grid_parser.add_argument(
+        "--victims", type=int, default=None, metavar="N",
+        help="limit the victim pool to the N largest ASes by customer "
+        "cone (default: every AS)",
+    )
+    grid_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the grid cells",
+    )
+    grid_parser.add_argument(
+        "--resume", type=str, default=None, metavar="PATH",
+        help="checkpoint journal: finished cells append to PATH and a "
+        "rerun with the same PATH replays them instead of re-converging",
+    )
+    grid_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per cell before the grid fails (default 3)",
+    )
+    grid_parser.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-cell deadline in pool mode",
+    )
+    _add_engine_mode_flag(grid_parser)
+    _add_metrics_flags(grid_parser)
 
     secpol_parser = subparsers.add_parser(
         "secpol-sweep",
@@ -240,6 +296,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--task-deadline", type=float, default=None, metavar="SECONDS",
         help="per-point deadline in pool mode",
     )
+    _add_engine_mode_flag(secpol_parser)
     _add_metrics_flags(secpol_parser)
 
     args = parser.parse_args(argv)
@@ -251,6 +308,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _world(args)
     if args.command == "campaign":
         return _campaign(args, _make_metrics(args, parser))
+    if args.command == "grid":
+        return _grid(args, _make_metrics(args, parser))
     if args.command == "secpol-sweep":
         return _secpol_sweep(args, parser, _make_metrics(args, parser))
     overrides = {
@@ -323,7 +382,7 @@ def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
     if not fractions:
         parser.error("--fractions must name at least one fraction")
     study = InterceptionStudy.generate(
-        seed=args.seed, scale=args.scale, monitors=1
+        seed=args.seed, scale=args.scale, monitors=1, engine_mode=args.engine_mode
     )
     graph = study.world.graph
     victim, attacker = args.victim, args.attacker
@@ -376,6 +435,44 @@ def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
     return 0
 
 
+def _grid(args, metrics: RunMetrics | None = None) -> int:
+    from repro.core import InterceptionStudy
+    from repro.topology.tiers import customer_cone
+
+    study = InterceptionStudy.generate(
+        seed=args.seed, scale=args.scale, monitors=1, engine_mode=args.engine_mode
+    )
+    graph = study.world.graph
+
+    def top_by_cone(pool, limit):
+        if limit is None or limit >= len(pool):
+            return list(pool)
+        return sorted(pool, key=lambda t: (-len(customer_cone(graph, t)), t))[:limit]
+
+    attackers = top_by_cone(study.world.transit_ases, args.attackers)
+    victims = top_by_cone(graph.ases, args.victims)
+    results = study.exhaustive_grid(
+        padding=args.padding,
+        attacker_pool=attackers,
+        victim_pool=victims,
+        workers=args.workers,
+        metrics=metrics,
+        resume=args.resume,
+        retry=_retry_policy(args),
+    )
+    effective = [r for r in results if r.after_fraction > r.before_fraction]
+    mean_after = sum(r.after_fraction for r in results) / len(results)
+    print(
+        f"grid: {len(attackers)} attackers x {len(victims)} victims, "
+        f"λ={args.padding}, engine-mode={args.engine_mode}"
+    )
+    print(f"  cells:               {len(results)}")
+    print(f"  effective attacks:   {len(effective)}/{len(results)}")
+    print(f"  mean pollution:      {mean_after:.1%}")
+    _emit_metrics(args, metrics)
+    return 0
+
+
 def _campaign(args, metrics: RunMetrics | None = None) -> int:
     from repro.core import InterceptionStudy
 
@@ -385,6 +482,7 @@ def _campaign(args, metrics: RunMetrics | None = None) -> int:
         scale=args.scale,
         monitors=args.monitors,
         placement=args.placement,
+        engine_mode=args.engine_mode,
     )
     campaign = study.campaign(
         pairs=args.pairs,

@@ -105,12 +105,18 @@ class InterceptionStudy:
         monitors: int = 150,
         placement: str = "top-degree",
         seed: int = 7,
+        engine_mode: str = "full",
     ) -> None:
         """``placement`` is ``"top-degree"`` (the paper's) or
-        ``"greedy-cover"`` (the optimised future-work strategy)."""
+        ``"greedy-cover"`` (the optimised future-work strategy).
+
+        ``engine_mode`` selects the warm-propagation strategy of the
+        study's engine: ``"full"`` (the default oracle) or ``"delta"``
+        (incremental copy-on-write re-convergence, bit-identical
+        results — see :mod:`repro.bgp.delta`)."""
         self._world = world
         self._seed = seed
-        self._engine = PropagationEngine(world.graph)
+        self._engine = PropagationEngine(world.graph, mode=engine_mode)
         count = min(monitors, len(world.graph))
         if placement == "top-degree":
             fleet = top_degree_monitors(world.graph, count)
@@ -134,12 +140,19 @@ class InterceptionStudy:
         config: InternetTopologyConfig | None = None,
         monitors: int = 150,
         placement: str = "top-degree",
+        engine_mode: str = "full",
     ) -> "InterceptionStudy":
         """Generate a fresh Internet-like world and wrap it in a study."""
         topo_rng = derive_rng(make_rng(seed), "topology")
         cfg = config if config is not None else InternetTopologyConfig().scaled(scale)
         world = generate_internet_topology(cfg, topo_rng)
-        return cls(world, monitors=monitors, placement=placement, seed=seed)
+        return cls(
+            world,
+            monitors=monitors,
+            placement=placement,
+            seed=seed,
+            engine_mode=engine_mode,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -278,6 +291,48 @@ class InterceptionStudy:
             retry=retry,
         )
 
+    def exhaustive_grid(
+        self,
+        *,
+        padding: int,
+        attacker_pool: list[int] | None = None,
+        victim_pool: list[int] | None = None,
+        workers: int | None = None,
+        metrics: RunMetrics | None = None,
+        resume: str | None = None,
+        retry: RetryPolicy | None = None,
+    ):
+        """Every attacker × every victim at fixed λ, no sampling.
+
+        The exhaustive counterpart of :meth:`campaign`: instead of a
+        seeded draw from the pools, every ``(attacker, victim)`` cell of
+        the cross product runs exactly once (attacker outer, victim
+        inner, self-pairs skipped), returning
+        :class:`~repro.runner.SweepPointResult` rows in grid order.
+        Defaults mirror :meth:`campaign`'s pools (transit attackers ×
+        all ASes).  Dense grids are what delta mode exists for —
+        construct the study with ``engine_mode="delta"`` so each victim
+        converges once and every cell pays only its affected cone.
+        ``resume`` journals finished cells; a rerun replays them instead
+        of re-converging.
+        """
+        from repro.experiments.sweeps import exhaustive_grid as run_grid
+
+        attackers = (
+            attacker_pool if attacker_pool is not None else self._world.transit_ases
+        )
+        victims = victim_pool if victim_pool is not None else self._world.graph.ases
+        return run_grid(
+            self._engine,
+            attackers=attackers,
+            victims=victims,
+            origin_padding=padding,
+            workers=workers,
+            metrics=metrics,
+            checkpoint=resume,
+            retry=retry,
+        )
+
     def campaign(
         self,
         *,
@@ -341,6 +396,7 @@ class InterceptionStudy:
             max_activations=self._engine.max_activations,
             metrics_enabled=enabled,
             backend=self._engine.backend,
+            engine_mode=self._engine.mode,
             fault_plan=faults,
         )
         journal = CheckpointJournal(resume) if resume is not None else None

@@ -43,7 +43,7 @@ from repro.runner import (
 )
 from repro.telemetry.metrics import RunMetrics
 
-__all__ = ["padding_sweep", "pair_grid", "deployment_sweep"]
+__all__ = ["exhaustive_grid", "padding_sweep", "pair_grid", "deployment_sweep"]
 
 
 def _prefetch_families(ctx: WorkerContext, tasks: Sequence[SweepPointTask]) -> None:
@@ -95,6 +95,7 @@ def _run_tasks(
         max_activations=engine.max_activations,
         metrics_enabled=enabled,
         backend=engine.backend,
+        engine_mode=engine.mode,
         fault_plan=faults,
     )
     journal = CheckpointJournal(checkpoint) if checkpoint is not None else None
@@ -219,6 +220,53 @@ def pair_grid(
     return _run_tasks(
         engine,
         tasks,
+        workers=workers,
+        cache=cache,
+        metrics=metrics,
+        checkpoint=checkpoint,
+        retry=retry,
+        faults=faults,
+    )
+
+
+def exhaustive_grid(
+    engine: PropagationEngine,
+    *,
+    attackers: Sequence[int],
+    victims: Sequence[int],
+    origin_padding: int,
+    workers: int | None = None,
+    cache: BaselineCache | None = None,
+    metrics: RunMetrics | None = None,
+    checkpoint: str | Path | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+) -> list[SweepPointResult]:
+    """Every attacker × every victim at fixed λ — the full campaign grid.
+
+    The grid enumerates the cross product deterministically (``attackers``
+    outer, ``victims`` inner, self-pairs skipped) instead of drawing a
+    sampled pool, which is the coverage the per-pair impact literature
+    needs (PAPERS.md: hijack-impact estimation at full grid coverage).
+    The cell order — and therefore the result rows and every journaled
+    fingerprint — is a pure function of the two pools, so a
+    ``checkpoint`` resume replays exactly the completed cells no matter
+    where the previous run died.
+
+    O(attackers × victims) full re-propagations make dense grids
+    intractable; run this under a delta-mode engine
+    (``PropagationEngine(..., mode="delta")``), where each victim
+    converges once and every cell re-converges only the attacker's
+    affected cone (bit-identical rows either way — the golden grid test
+    pins delta against per-pair full recomputes cell for cell).
+    """
+    pairs = [(a, v) for a in attackers for v in victims if a != v]
+    if not pairs:
+        raise SimulationError("exhaustive grid needs at least one attacker≠victim cell")
+    return pair_grid(
+        engine,
+        pairs,
+        origin_padding=origin_padding,
         workers=workers,
         cache=cache,
         metrics=metrics,

@@ -122,11 +122,18 @@ def derive_uniform_baseline(
     )
     # A compiled canonical outcome begets compiled derived outcomes:
     # the same rewrite in (index, intern-id) space, so warm-starting
-    # the attack from this baseline stays on the fast load path.
-    if canonical.compiled_state is not None:
-        outcome.compiled_state = canonical.compiled_state.derive_uniform(
-            victim, padding
-        )
+    # the attack from this baseline stays on the fast load path.  The
+    # rewrite is deferred (:class:`repro.bgp.delta.DerivedUniformState`):
+    # a delta-mode engine reads straight through to the canonical
+    # arrays and never materialises it; the full-recompute warm loader
+    # triggers the old eager derivation on first array access.
+    state = canonical.compiled_state
+    if state is not None:
+        from repro.bgp.delta import DerivedUniformState
+
+        if isinstance(state, DerivedUniformState):  # defensive: never re-derive
+            state = state.canonical
+        outcome.compiled_state = DerivedUniformState(state, victim, padding)
     return outcome
 
 

@@ -47,14 +47,23 @@ __all__ = ["CACHE_SHAPE_PREFIXES", "Counter", "Timer", "Histogram", "RunMetrics"
 #: serial-vs-pooled determinism comparisons.  The compiled backend's
 #: interning counters (``engine.compiled.*`` — hit rates depend on
 #: which paths a worker's intern tables have already seen) are
-#: cache-shaped for the same reason.  The whole ``runner.*`` namespace
+#: cache-shaped for the same reason, as are the delta-propagation
+#: reuse counters (``engine.delta.*`` — whether a run takes the delta
+#: path or falls back to the full recompute depends on which baseline
+#: object the local cache handed it).  The whole ``runner.*`` namespace
 #: is run-shaped by construction: shared-memory transport accounting
 #: (``runner.shm.*`` — per-worker, absent on the serial path) and the
 #: supervisor's recovery counters (``runner.retries``,
 #: ``runner.pool_restarts``, ``runner.deadline_kills``,
 #: ``runner.resumed_tasks``, ...) measure faults survived and work
 #: skipped, not propagation performed.
-CACHE_SHAPE_PREFIXES = ("cache.", "engine.cold.", "engine.compiled.", "runner.")
+CACHE_SHAPE_PREFIXES = (
+    "cache.",
+    "engine.cold.",
+    "engine.compiled.",
+    "engine.delta.",
+    "runner.",
+)
 
 
 @dataclass

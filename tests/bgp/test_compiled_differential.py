@@ -21,43 +21,20 @@ from repro.bgp.compiled import CompiledTopology, InternTable
 from repro.bgp.engine import PropagationEngine
 from repro.bgp.prepending import PrependingPolicy
 from repro.secpol import build_deployment
-from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
-
-TINY = InternetTopologyConfig(
-    num_tier1=3,
-    num_tier2=5,
-    num_tier3=10,
-    num_tier4=8,
-    num_stubs=25,
-    num_content=2,
-    sibling_pairs=2,
+from repro.topology.generators import generate_internet_topology
+from tests.strategies import (
+    TINY,
+    assert_outcomes_identical as _assert_outcomes_identical,
+    backend_pair as _engines,
+    draw_victim_then_attacker,
+    paddings,
+    seeds,
 )
-
-
-def _engines(seed):
-    rng = random.Random(seed)
-    world = generate_internet_topology(TINY, rng)
-    graph = world.graph
-    return (
-        world,
-        rng,
-        PropagationEngine(graph, backend="reference"),
-        PropagationEngine(graph, backend="compiled"),
-    )
-
-
-def _assert_outcomes_identical(ref, cmp):
-    assert ref == cmp  # prefix, origin, rounds, adoption_round, best, adj_rib_in
-    assert ref.best_keys == cmp.best_keys
-    # Dict iteration order is part of the emission contract (reports and
-    # serialised artefacts walk these maps).
-    assert list(ref.best) == list(cmp.best)
-    assert list(ref.adj_rib_in) == list(cmp.adj_rib_in)
 
 
 class TestColdDifferential:
     @settings(max_examples=15, deadline=None)
-    @given(seed=st.integers(0, 10**6), padding=st.integers(1, 5))
+    @given(seed=seeds, padding=paddings())
     def test_cold_propagation_identical(self, seed, padding):
         world, rng, ref_engine, cmp_engine = _engines(seed)
         origin = rng.choice(world.graph.ases)
@@ -67,7 +44,7 @@ class TestColdDifferential:
         _assert_outcomes_identical(ref, cmp)
 
     @settings(max_examples=10, deadline=None)
-    @given(seed=st.integers(0, 10**6))
+    @given(seed=seeds)
     def test_per_neighbor_schedule_identical(self, seed):
         """Non-uniform prepending exercises the per-count offer memo."""
         world, rng, ref_engine, cmp_engine = _engines(seed)
@@ -84,8 +61,8 @@ class TestColdDifferential:
 class TestAttackDifferential:
     @settings(max_examples=12, deadline=None)
     @given(
-        seed=st.integers(0, 10**6),
-        padding=st.integers(1, 5),
+        seed=seeds,
+        padding=paddings(),
         violate=st.booleans(),
     )
     def test_warm_started_attack_identical(self, seed, padding, violate):
@@ -93,8 +70,7 @@ class TestAttackDifferential:
         pollution report — is backend-invariant, including the rib
         entries the attack withdrew (explicit ``None``) vs never made."""
         world, rng, ref_engine, cmp_engine = _engines(seed)
-        victim = rng.choice(world.graph.ases)
-        attacker = rng.choice([a for a in world.transit_ases if a != victim])
+        victim, attacker = draw_victim_then_attacker(world, rng)
         results = []
         for engine in (ref_engine, cmp_engine):
             results.append(
@@ -113,7 +89,7 @@ class TestAttackDifferential:
         assert ref.attacker_has_route == cmp.attacker_has_route
 
     @settings(max_examples=8, deadline=None)
-    @given(seed=st.integers(0, 10**6))
+    @given(seed=seeds)
     def test_import_filters_identical(self, seed):
         """Receiver-side vetting forces the full-rescan decision path in
         both backends; the compiled one must reify the offered path for
@@ -260,14 +236,13 @@ class TestSecpolDifferential:
 
     @settings(max_examples=6, deadline=None)
     @given(
-        seed=st.integers(0, 10**6),
+        seed=seeds,
         fraction=st.sampled_from([0.2, 0.6, 1.0]),
         violate=st.booleans(),
     )
     def test_random_scenarios_identical(self, seed, fraction, violate):
         world, rng, ref_engine, cmp_engine = _engines(seed)
-        victim = rng.choice(world.graph.ases)
-        attacker = rng.choice([a for a in world.transit_ases if a != victim])
+        victim, attacker = draw_victim_then_attacker(world, rng)
         policy = rng.choice(["rov", "aspa", "prependguard"])
         results = []
         for engine in (ref_engine, cmp_engine):

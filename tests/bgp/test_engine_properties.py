@@ -3,44 +3,20 @@ routing invariants on randomly generated topologies."""
 
 from __future__ import annotations
 
-import random
-
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.bgp.engine import PropagationEngine
 from repro.bgp.prepending import PrependingPolicy
 from repro.bgp.uphill import three_phase_routes
-from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
-
-TINY_NO_SIBLINGS = InternetTopologyConfig(
-    num_tier1=3,
-    num_tier2=5,
-    num_tier3=10,
-    num_tier4=8,
-    num_stubs=25,
-    num_content=2,
-    sibling_pairs=0,
-)
-
-TINY_WITH_SIBLINGS = InternetTopologyConfig(
-    num_tier1=3,
-    num_tier2=5,
-    num_tier3=10,
-    num_tier4=8,
-    num_stubs=25,
-    num_content=2,
-    sibling_pairs=3,
-)
+from tests.strategies import TINY_NO_SIBLINGS, TINY_WITH_SIBLINGS, paddings, seeds, tiny_world
 
 
 @settings(max_examples=20, deadline=None)
-@given(seed=st.integers(0, 10**6), padding=st.integers(1, 5))
+@given(seed=seeds, padding=paddings())
 def test_engine_agrees_with_three_phase_oracle(seed, padding):
     """On sibling-free topologies both algorithms select routes of the
     same preference class and length at every AS."""
-    rng = random.Random(seed)
-    world = generate_internet_topology(TINY_NO_SIBLINGS, rng)
+    world, rng = tiny_world(seed, TINY_NO_SIBLINGS)
     graph = world.graph
     engine = PropagationEngine(graph)
     origin = rng.choice(graph.ases)
@@ -59,12 +35,11 @@ def test_engine_agrees_with_three_phase_oracle(seed, padding):
 
 
 @settings(max_examples=15, deadline=None)
-@given(seed=st.integers(0, 10**6), padding=st.integers(1, 4))
+@given(seed=seeds, padding=paddings(max_value=4))
 def test_every_selected_route_is_valley_free(seed, padding):
     """No AS ever selects a route whose path violates Gao-Rexford
     export economics (sibling hops transparent, prepending collapsed)."""
-    rng = random.Random(seed)
-    world = generate_internet_topology(TINY_WITH_SIBLINGS, rng)
+    world, rng = tiny_world(seed, TINY_WITH_SIBLINGS)
     graph = world.graph
     engine = PropagationEngine(graph)
     origin = rng.choice(graph.ases)
@@ -83,13 +58,12 @@ def test_every_selected_route_is_valley_free(seed, padding):
 
 
 @settings(max_examples=15, deadline=None)
-@given(seed=st.integers(0, 10**6))
+@given(seed=seeds)
 def test_per_neighbor_padding_respected_at_first_hop(seed):
     """The origin's per-neighbour padding shows up verbatim in the path
     tail of every route whose first hop from the origin is that
     neighbour."""
-    rng = random.Random(seed)
-    world = generate_internet_topology(TINY_NO_SIBLINGS, rng)
+    world, rng = tiny_world(seed, TINY_NO_SIBLINGS)
     graph = world.graph
     origin = rng.choice([a for a in graph.ases if len(graph.neighbors_of(a)) >= 2])
     neighbors = sorted(graph.neighbors_of(origin))

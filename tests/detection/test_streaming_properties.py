@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import random
-
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.attack.interception import simulate_interception
 from repro.bgp.collectors import RouteCollector
@@ -14,33 +11,27 @@ from repro.detection.detector import ASPPInterceptionDetector
 from repro.detection.monitors import top_degree_monitors
 from repro.detection.streaming import StreamingDetector, attack_update_stream
 from repro.detection.timing import detection_timing
-from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
-
-TINY = InternetTopologyConfig(
-    num_tier1=3,
-    num_tier2=6,
-    num_tier3=12,
-    num_tier4=10,
-    num_stubs=40,
-    num_content=2,
-    sibling_pairs=1,
+from tests.strategies import (
+    TINY_DETECTION,
+    draw_attacker_then_victim,
+    paddings,
+    seeds,
+    tiny_world,
 )
 
 
 @settings(max_examples=12, deadline=None)
-@given(seed=st.integers(0, 10**6), padding=st.integers(2, 5))
+@given(seed=seeds, padding=paddings(min_value=2))
 def test_streaming_dominates_batch_verdict(seed, padding):
     """The online detector detects every attack the snapshot comparison
     detects — and possibly more: mid-stream, monitors that have not yet
     switched still exhibit the padded route, evidence that vanishes from
     the final converged view.  (Hypothesis found this dominance; it is
     now asserted as the invariant.)"""
-    rng = random.Random(seed)
-    world = generate_internet_topology(TINY, rng)
+    world, rng = tiny_world(seed, TINY_DETECTION)
     graph = world.graph
     engine = PropagationEngine(graph)
-    attacker = rng.choice(world.transit_ases)
-    victim = rng.choice([a for a in graph.ases if a != attacker])
+    victim, attacker = draw_attacker_then_victim(world, rng)
     result = simulate_interception(
         engine, victim=victim, attacker=attacker, origin_padding=padding
     )
@@ -58,16 +49,14 @@ def test_streaming_dominates_batch_verdict(seed, padding):
 
 
 @settings(max_examples=10, deadline=None)
-@given(seed=st.integers(0, 10**6))
+@given(seed=seeds)
 def test_streaming_replay_is_idempotent(seed):
     """Replaying the same stream twice produces alarms only once (the
     second pass is all duplicate announcements)."""
-    rng = random.Random(seed)
-    world = generate_internet_topology(TINY, rng)
+    world, rng = tiny_world(seed, TINY_DETECTION)
     graph = world.graph
     engine = PropagationEngine(graph)
-    attacker = rng.choice(world.transit_ases)
-    victim = rng.choice([a for a in graph.ases if a != attacker])
+    victim, attacker = draw_attacker_then_victim(world, rng)
     result = simulate_interception(
         engine, victim=victim, attacker=attacker, origin_padding=3
     )

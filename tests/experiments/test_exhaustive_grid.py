@@ -1,0 +1,176 @@
+"""Golden test: the exhaustive grid under delta mode vs per-pair full
+recompute, plus checkpoint/resume semantics over grid cells.
+
+The exhaustive grid is the campaign mode delta propagation exists for,
+so its correctness bar is the strictest: every cell of the delta-mode
+grid must equal — field for field — the result of converging that cell
+in complete isolation (cold baseline, cold attack, no cache shared
+with any other cell).  The per-pair recompute is the reference oracle;
+any cross-cell contamination in the cache, the engine's warm state or
+the delta overlays shows up as a cell mismatch here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack.interception import simulate_interception
+from repro.bgp.engine import PropagationEngine
+from repro.bgp.prepending import PrependingPolicy
+from repro.exceptions import SimulationError
+from repro.experiments.sweeps import exhaustive_grid
+from repro.runner import SweepPointResult
+from repro.telemetry.metrics import RunMetrics
+from tests.strategies import TINY, tiny_world
+
+PADDING = 3
+
+
+@pytest.fixture(scope="module")
+def grid_world():
+    world, _ = tiny_world(7, TINY)
+    return world
+
+
+@pytest.fixture(scope="module")
+def grid_pools(grid_world):
+    """Modest pools so the per-pair recompute oracle stays fast: six
+    transit attackers crossed with a systematic victim sample."""
+    attackers = grid_world.transit_ases[:6]
+    victims = grid_world.graph.ases[::7]
+    return attackers, victims
+
+
+def _recompute_cell(engine, attacker, victim):
+    """One grid cell in complete isolation: cold baseline, cold attack."""
+    prepending = PrependingPolicy.uniform_origin(victim, PADDING)
+    baseline = engine.propagate(victim, prepending=prepending)
+    result = simulate_interception(
+        engine,
+        victim=victim,
+        attacker=attacker,
+        origin_padding=PADDING,
+        prepending=prepending,
+        baseline=baseline,
+    )
+    return SweepPointResult(
+        attacker=attacker,
+        victim=victim,
+        padding=PADDING,
+        before_fraction=result.report.before_fraction,
+        after_fraction=result.report.after_fraction,
+        attacker_kept_route=result.attacker_has_route,
+    )
+
+
+@pytest.mark.slow
+def test_delta_grid_matches_per_pair_full_recompute(grid_world, grid_pools):
+    """Cell-for-cell equality, and the delta engine must have earned it
+    on the delta path (one delta flood per cell, zero fallbacks)."""
+    attackers, victims = grid_pools
+    graph = grid_world.graph
+    delta_engine = PropagationEngine(graph, backend="compiled", mode="delta")
+    delta_engine.metrics = metrics = RunMetrics()
+    delta_cells = exhaustive_grid(
+        delta_engine, attackers=attackers, victims=victims, origin_padding=PADDING
+    )
+
+    oracle_engine = PropagationEngine(graph, backend="compiled")
+    oracle_cells = [
+        _recompute_cell(oracle_engine, attacker, victim)
+        for attacker in attackers
+        for victim in victims
+        if attacker != victim
+    ]
+    assert delta_cells == oracle_cells
+    assert metrics.counter_value("engine.delta.propagations") == len(oracle_cells)
+    assert metrics.counter_value("engine.delta.fallbacks") == 0
+
+
+def test_grid_order_is_attackers_outer_victims_inner(grid_world, grid_pools):
+    attackers, victims = grid_pools
+    engine = PropagationEngine(grid_world.graph, backend="compiled", mode="delta")
+    cells = exhaustive_grid(
+        engine, attackers=attackers, victims=victims, origin_padding=PADDING
+    )
+    expected = [(a, v) for a in attackers for v in victims if a != v]
+    assert [(c.attacker, c.victim) for c in cells] == expected
+
+
+def test_grid_rejects_empty_cross_product(grid_world):
+    engine = PropagationEngine(grid_world.graph, backend="compiled", mode="delta")
+    lonely = grid_world.graph.ases[0]
+    with pytest.raises(SimulationError):
+        exhaustive_grid(
+            engine, attackers=[lonely], victims=[lonely], origin_padding=PADDING
+        )
+
+
+@pytest.mark.slow
+def test_checkpoint_resume_replays_every_completed_cell(
+    grid_world, grid_pools, tmp_path
+):
+    """A rerun against a complete journal must replay all cells and
+    re-converge none of them: zero attack floods, identical results."""
+    attackers, victims = grid_pools
+    graph = grid_world.graph
+    journal = tmp_path / "grid.jsonl"
+
+    engine = PropagationEngine(graph, backend="compiled", mode="delta")
+    first = exhaustive_grid(
+        engine,
+        attackers=attackers,
+        victims=victims,
+        origin_padding=PADDING,
+        checkpoint=journal,
+    )
+
+    rerun_engine = PropagationEngine(graph, backend="compiled", mode="delta")
+    metrics = RunMetrics()
+    second = exhaustive_grid(
+        rerun_engine,
+        attackers=attackers,
+        victims=victims,
+        origin_padding=PADDING,
+        checkpoint=journal,
+        metrics=metrics,
+    )
+    assert second == first
+    assert metrics.counter_value("runner.resumed_tasks") == len(first)
+    # Replayed cells never touch the engine: no delta floods, no full
+    # warm floods (baseline prefetch may still converge canonically).
+    assert metrics.counter_value("engine.delta.propagations") == 0
+    assert metrics.counter_value("engine.warm.propagations") == 0
+
+
+def test_checkpoint_resume_runs_only_missing_cells(grid_world, grid_pools, tmp_path):
+    """A journal from a *partial* grid replays exactly its cells and
+    converges only the remainder."""
+    attackers, victims = grid_pools
+    graph = grid_world.graph
+    journal = tmp_path / "partial.jsonl"
+
+    engine = PropagationEngine(graph, backend="compiled", mode="delta")
+    partial = exhaustive_grid(
+        engine,
+        attackers=attackers[:3],
+        victims=victims,
+        origin_padding=PADDING,
+        checkpoint=journal,
+    )
+
+    rerun_engine = PropagationEngine(graph, backend="compiled", mode="delta")
+    metrics = RunMetrics()
+    rerun_engine.metrics = metrics
+    full = exhaustive_grid(
+        rerun_engine,
+        attackers=attackers,
+        victims=victims,
+        origin_padding=PADDING,
+        checkpoint=journal,
+        metrics=metrics,
+    )
+    assert full[: len(partial)] == partial
+    fresh = len(full) - len(partial)
+    assert metrics.counter_value("runner.resumed_tasks") == len(partial)
+    assert metrics.counter_value("engine.delta.propagations") == fresh

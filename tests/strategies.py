@@ -1,0 +1,157 @@
+"""Shared hypothesis strategies and tiny-world builders.
+
+The property suites (compiled differential, engine invariants,
+streaming detection, delta differential) all need the same scaffolding:
+a topology small enough that hypothesis can afford dozens of examples,
+a seeded ``random.Random`` whose post-generation state drives the
+scenario picks (so one integer seed reproduces the whole example), and
+the backend-pair / scenario-pick helpers built on top.  Each suite used
+to carry its own copy; they live here so a new differential suite
+starts from the same vocabulary instead of another fork.
+
+Conventions:
+
+* ``seeds``/``paddings`` are the hypothesis strategies; everything else
+  is plain deterministic code driven by the drawn seed.
+* ``tiny_world(seed, config)`` returns both the world *and* the rng
+  used to generate it — scenario picks must come from that rng so the
+  example is a pure function of the seed.
+* The draw-order helpers (victim-first vs attacker-first) are separate
+  functions on purpose: the suites predate this module with different
+  orders, and changing an order silently reshuffles every regression
+  example hypothesis has ever minimised.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.bgp.engine import PropagationEngine
+from repro.topology.generators import (
+    GeneratedTopology,
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+
+__all__ = [
+    "TINY",
+    "TINY_DETECTION",
+    "TINY_NO_SIBLINGS",
+    "TINY_WITH_SIBLINGS",
+    "assert_outcomes_identical",
+    "backend_pair",
+    "draw_attacker_then_victim",
+    "draw_victim_then_attacker",
+    "paddings",
+    "seeds",
+    "tiny_config",
+    "tiny_world",
+]
+
+
+def tiny_config(
+    *,
+    num_tier1: int = 3,
+    num_tier2: int = 5,
+    num_tier3: int = 10,
+    num_tier4: int = 8,
+    num_stubs: int = 25,
+    num_content: int = 2,
+    sibling_pairs: int = 2,
+) -> InternetTopologyConfig:
+    """A ~50-AS topology config — large enough for multi-tier routing
+    structure, small enough for dozens of hypothesis examples."""
+    return InternetTopologyConfig(
+        num_tier1=num_tier1,
+        num_tier2=num_tier2,
+        num_tier3=num_tier3,
+        num_tier4=num_tier4,
+        num_stubs=num_stubs,
+        num_content=num_content,
+        sibling_pairs=sibling_pairs,
+    )
+
+
+#: The differential suites' default world.
+TINY = tiny_config()
+#: Sibling-free variant — the three-phase oracle is only defined without
+#: sibling (transparent) hops.
+TINY_NO_SIBLINGS = tiny_config(sibling_pairs=0)
+#: Extra sibling pairs to stress transparent-hop handling.
+TINY_WITH_SIBLINGS = tiny_config(sibling_pairs=3)
+#: The detection suites' slightly larger world (more stubs → more
+#: monitors with distinct vantage points).
+TINY_DETECTION = tiny_config(
+    num_tier2=6, num_tier3=12, num_tier4=10, num_stubs=40, sibling_pairs=1
+)
+
+#: One integer reproduces the whole example (topology + scenario picks).
+seeds = st.integers(0, 10**6)
+
+
+def paddings(min_value: int = 1, max_value: int = 5):
+    """Origin-padding (λ) strategy; the paper sweeps 1..8 but tiny
+    topologies saturate earlier."""
+    return st.integers(min_value, max_value)
+
+
+def tiny_world(
+    seed: int, config: InternetTopologyConfig = TINY
+) -> tuple[GeneratedTopology, random.Random]:
+    """Generate a tiny world; return it with the generating rng.
+
+    The rng comes back advanced past topology generation, so scenario
+    picks drawn from it are stable per seed and independent of how many
+    picks a test makes.
+    """
+    rng = random.Random(seed)
+    return generate_internet_topology(config, rng), rng
+
+
+def backend_pair(
+    seed: int, config: InternetTopologyConfig = TINY
+) -> tuple[GeneratedTopology, random.Random, PropagationEngine, PropagationEngine]:
+    """World + rng + (reference, compiled) engines over the same graph."""
+    world, rng = tiny_world(seed, config)
+    return (
+        world,
+        rng,
+        PropagationEngine(world.graph, backend="reference"),
+        PropagationEngine(world.graph, backend="compiled"),
+    )
+
+
+def draw_victim_then_attacker(
+    world: GeneratedTopology, rng: random.Random
+) -> tuple[int, int]:
+    """Any-AS victim, then a transit attacker ≠ victim (the compiled
+    differential suite's draw order)."""
+    victim = rng.choice(world.graph.ases)
+    attacker = rng.choice([a for a in world.transit_ases if a != victim])
+    return victim, attacker
+
+
+def draw_attacker_then_victim(
+    world: GeneratedTopology, rng: random.Random
+) -> tuple[int, int]:
+    """Transit attacker first, then any victim ≠ attacker (the
+    streaming-detection suite's draw order).  Returns (victim, attacker)
+    like its sibling so call sites read the same."""
+    attacker = rng.choice(world.transit_ases)
+    victim = rng.choice([a for a in world.graph.ases if a != attacker])
+    return victim, attacker
+
+
+def assert_outcomes_identical(ref, other) -> None:
+    """Bit-identity across every outcome field the artefacts consume:
+    prefix, origin, rounds, adoption stamps, best routes, Adj-RIBs-in
+    (including the absent-offer vs explicit-``None`` withdrawal
+    distinction) — plus dict iteration order, which is part of the
+    emission contract (reports and serialised artefacts walk these
+    maps)."""
+    assert ref == other  # prefix, origin, rounds, adoption_round, best, adj_rib_in
+    assert ref.best_keys == other.best_keys
+    assert list(ref.best) == list(other.best)
+    assert list(ref.adj_rib_in) == list(other.adj_rib_in)
