@@ -12,6 +12,8 @@ simulator is built on:
 * :mod:`repro.bgp.prepending` — per-neighbour prepending schedules;
 * :mod:`repro.bgp.engine` — the general worklist propagation engine
   (supports attacker transforms, warm starts, adoption-round clocks);
+* :mod:`repro.bgp.vectorized` — the NumPy CSR batched frontier core
+  for Internet-scale cold runs (``backend="vectorized"``);
 * :mod:`repro.bgp.uphill` — the paper's Figure-2 three-phase algorithm,
   used as an independent oracle;
 * :mod:`repro.bgp.collectors` — RouteViews/RIPE-style route collectors;
@@ -36,6 +38,13 @@ from repro.bgp.ribdump import dumps_view, load_view, loads_view, save_view
 from repro.bgp.route import Route
 from repro.bgp.uphill import three_phase_routes
 from repro.bgp.uphill_hijack import paper_hijack_estimate
+from repro.bgp.vectorized import (
+    VectorizedUnsupported,
+    numpy_available,
+    run_vectorized,
+    run_vectorized_batch,
+    vectorized_fixpoint,
+)
 
 __all__ = [
     "ASPath",
@@ -58,6 +67,11 @@ __all__ = [
     "MonitorView",
     "three_phase_routes",
     "paper_hijack_estimate",
+    "VectorizedUnsupported",
+    "numpy_available",
+    "run_vectorized",
+    "run_vectorized_batch",
+    "vectorized_fixpoint",
     "dumps_view",
     "loads_view",
     "save_view",

@@ -125,6 +125,7 @@ class CompiledTopology:
         "_slot_index",
         "_roles",
         "_bits",
+        "_np",
     )
 
     def __init__(
@@ -155,6 +156,8 @@ class CompiledTopology:
         self._slot_index: list[dict[int, int]] | None = None
         self._roles: list[Relationship] | None = None
         self._bits: list[int] | None = None
+        # NumPy edge views, built lazily by repro.bgp.vectorized.
+        self._np = None
 
     # ------------------------------------------------------------------
     @classmethod

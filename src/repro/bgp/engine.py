@@ -312,14 +312,22 @@ class PropagationEngine:
         """
         if max_activations < 1:
             raise SimulationError("max_activations must be positive")
-        if backend not in ("compiled", "reference"):
+        if backend not in ("compiled", "reference", "vectorized"):
             raise SimulationError(
-                f"backend must be 'compiled' or 'reference', got {backend!r}"
+                "backend must be 'compiled', 'reference' or 'vectorized', "
+                f"got {backend!r}"
             )
         if mode not in ("full", "delta"):
             raise SimulationError(f"mode must be 'full' or 'delta', got {mode!r}")
-        if mode == "delta" and backend != "compiled":
-            raise SimulationError("mode='delta' requires the compiled backend")
+        if mode == "delta" and backend == "reference":
+            raise SimulationError("mode='delta' requires a compiled-array backend")
+        if backend == "vectorized":
+            from repro.bgp.vectorized import numpy_available
+
+            if not numpy_available():
+                raise SimulationError(
+                    "backend='vectorized' requires numpy, which is not installed"
+                )
         self._mode = mode
         self._graph: ASGraph | None = graph
         self._max_activations = max_activations
@@ -331,7 +339,7 @@ class PropagationEngine:
         ] | None = None
         self._topo: CompiledTopology | None = None
         self._tables: OrderedDict[int, InternTable] = OrderedDict()
-        if backend == "compiled":
+        if backend in ("compiled", "vectorized"):
             self._topo = CompiledTopology.from_graph(graph)
         else:
             self._build_adjacency()
@@ -344,6 +352,7 @@ class PropagationEngine:
         max_activations: int = 50,
         metrics: RunMetrics | None = None,
         mode: str = "full",
+        backend: str = "compiled",
     ) -> "PropagationEngine":
         """An engine over pre-compiled arrays, without an ASGraph.
 
@@ -351,16 +360,23 @@ class PropagationEngine:
         :class:`CompiledTopology` buffers through shared memory and the
         worker builds its engine directly from them.  ``graph`` is
         materialised lazily (only detection/collector code needs it).
+        ``backend`` accepts the compiled-array backends ("compiled" or
+        "vectorized") — the reference backend needs a real graph.
         """
         engine = cls.__new__(cls)
         if max_activations < 1:
             raise SimulationError("max_activations must be positive")
         if mode not in ("full", "delta"):
             raise SimulationError(f"mode must be 'full' or 'delta', got {mode!r}")
+        if backend not in ("compiled", "vectorized"):
+            raise SimulationError(
+                "from_compiled backend must be 'compiled' or 'vectorized', "
+                f"got {backend!r}"
+            )
         engine._graph = None
         engine._max_activations = max_activations
         engine.metrics = metrics
-        engine._backend = "compiled"
+        engine._backend = backend
         engine._mode = mode
         engine._adjacency = None
         engine._topo = topo
@@ -530,7 +546,7 @@ class PropagationEngine:
                     "warm start requires seed ASes (modifiers, violators, or explicit)"
                 )
 
-        if self._backend == "compiled":
+        if self._backend in ("compiled", "vectorized"):
             # An outcome already carrying compiled state over this
             # topology brings its own intern table (the cache's derived
             # baselines share the canonical run's table); otherwise the
@@ -543,6 +559,39 @@ class PropagationEngine:
                 table = state.table
             else:
                 table = self._table_for(origin)
+            if self._backend == "vectorized":
+                # The vectorized core covers exactly the cold stock-
+                # policy runs (the baseline convergences that dominate
+                # sweeps); anything else — warm starts, modifiers,
+                # filters, policies — falls through to run_compiled on
+                # the same table, bit-identical by the differential
+                # contract.
+                if (
+                    warm_start is None
+                    and not modifiers
+                    and not import_filters
+                    and secpol is None
+                    and type(export_policy) is ExportPolicy
+                    and not export_policy.violators
+                ):
+                    from repro.bgp.vectorized import (
+                        VectorizedUnsupported,
+                        run_vectorized,
+                    )
+
+                    try:
+                        return run_vectorized(
+                            self._topo,
+                            table,
+                            origin=origin,
+                            prefix=prefix,
+                            prepending=prepending,
+                            metrics=self.metrics,
+                        )
+                    except VectorizedUnsupported:
+                        pass
+                if self.metrics is not None and self.metrics.enabled:
+                    self.metrics.count("engine.vectorized.fallbacks")
             if self._mode == "delta" and warm_start is not None:
                 from repro.bgp.delta import run_delta
 
@@ -823,6 +872,54 @@ class PropagationEngine:
             rounds=max_round,
             best_keys=best_key,
         )
+
+    # ------------------------------------------------------------------
+    def propagate_batch(
+        self, origins: Iterable[int], *, prefix: str = DEFAULT_PREFIX
+    ) -> dict[int, PropagationOutcome]:
+        """Converge many origins' cold canonical baselines in one walk.
+
+        Vectorized backend only: each origin becomes a column of the
+        2-D key matrix, so a campaign's baselines share every topology
+        gather instead of walking the graph once per victim.  Each
+        outcome is built on its own per-origin intern table and is
+        bit-identical to ``propagate(origin, prefix=prefix)`` — the
+        batched-columns differential pins that.  Results come back
+        keyed by origin, in input order.
+        """
+        if self._backend != "vectorized":
+            raise SimulationError(
+                "propagate_batch requires backend='vectorized'"
+            )
+        origins = list(origins)
+        for origin in origins:
+            if not self._contains(origin):
+                raise UnknownASError(origin)
+        if len(set(origins)) != len(origins):
+            raise SimulationError("propagate_batch origins must be distinct")
+        if not origins:
+            return {}
+        from repro.bgp.vectorized import (
+            VectorizedUnsupported,
+            run_vectorized_batch,
+        )
+
+        tables = {origin: self._table_for(origin) for origin in origins}
+        try:
+            outcomes = run_vectorized_batch(
+                self._topo,
+                tables,
+                origins,
+                prefix=prefix,
+                metrics=self.metrics,
+            )
+        except VectorizedUnsupported:
+            if self.metrics is not None and self.metrics.enabled:
+                self.metrics.count("engine.vectorized.fallbacks", len(origins))
+            return {
+                origin: self.propagate(origin, prefix=prefix) for origin in origins
+            }
+        return dict(zip(origins, outcomes))
 
     # ------------------------------------------------------------------
     def _decide(

@@ -1,0 +1,609 @@
+"""Vectorized (NumPy) cold-path propagation core.
+
+This module is the ``backend="vectorized"`` implementation behind
+:class:`repro.bgp.engine.PropagationEngine`: cold (baseline)
+convergences run as a handful of NumPy gather/scatter-min passes over
+the :class:`~repro.bgp.compiled.CompiledTopology` CSR arrays instead of
+the compiled backend's per-activation Python loop.
+
+Why this is exact
+-----------------
+
+Under stock valley-free policies every announcement step *strictly*
+increases the decision key ``(pref class, path length)``: customer
+routes (class ≤ 2) gain length going up or sideways, peer offers jump
+to class 3, provider offers to class 4.  That strict monotonicity has
+two consequences the core exploits:
+
+* **Dijkstra-style wave scheduling is sound.**  The smallest
+  unfinalised tentative key can never improve again (all future offers
+  come from keys ≥ it and strictly increase), so each pass finalises
+  the whole ``(class, length)`` level at once and relaxes only the
+  newly-finalised senders' out-edges.  Every directed edge is relaxed
+  exactly once per source — total work is O(E) in NumPy batch ops.
+  Because the class field dominates the key, the wave schedule *is*
+  the Gao-Rexford phase ordering: all customer-cone levels drain
+  first (the customer-up sweep), then the single peer-exchange level
+  band (class 3), then the provider-down levels (class 4).
+
+* **Loop prevention needs no per-offer path scan.**  A looping offer
+  announces a path containing the receiver, which makes the receiver
+  an ancestor of the sender in the learned-from forest — so the
+  receiver's own key is strictly smaller and the offer can never win
+  a decision.  Loops only matter at Adj-RIB-in emission, where one
+  Euler-tour ancestor test per slot (two array compares) reproduces
+  the compiled backend's big-int mask check.
+
+Keys pack into one ``int64`` — ``class·2^53 + length·2^21 + sender
+index`` — so a full decision (class, then length, then lowest sender
+index, matching the reference engine's ASN tie-break because index
+order is ascending-ASN order) is a single ``np.minimum``.
+
+Batching: :func:`run_vectorized_batch` converges B origins at once by
+giving each origin a column in the ``(N, B)`` key matrix; every wave's
+gather/scatter covers all columns, so a grid's canonical baselines
+share one topology walk.  :func:`vectorized_fixpoint` exposes the raw
+key matrix without building outcomes (the 80k-AS benchmark path — no
+intern table, no Python-object emission).
+
+Contract vs the compiled oracle (pinned by
+``tests/bgp/test_vectorized_differential.py``): cold runs agree on
+``best``/``best_keys``, every *present* Adj-RIB-in entry, pollution and
+reachability sets, and the attached :class:`CompiledState` arrays —
+and any warm-started attack run computed *from* a vectorized baseline
+matches one from a compiled baseline on every decision-relevant field:
+``best``, ``best_keys``, adoption stamps, round counts, pollution
+sets, and every present Adj-RIB-in offer.  Two documented discipline
+differences on the cold run itself: adoption stamps are the wave
+clock (forest depth) rather than FIFO activation stamps, and
+transient explicit-``None`` withdrawals never occur (a converged cold
+Adj-RIB-in never needs them; the slot is simply absent), exactly like
+the reference engine's ``rib.get(s) is None`` reading of both.  The
+withdrawal difference can survive a warm run in slots the warm flood
+never touches, which is why the oracle suite compares Adj-RIB-in
+modulo explicit ``None``.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.compiled import (
+    _PREF_OF,
+    CompiledState,
+    CompiledTopology,
+    InternTable,
+)
+from repro.bgp.prepending import PrependingPolicy
+from repro.bgp.route import Route
+from repro.exceptions import ConvergenceError
+from repro.telemetry.metrics import RunMetrics
+
+try:  # pragma: no cover - exercised only where numpy is absent
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+__all__ = [
+    "VectorizedUnsupported",
+    "numpy_available",
+    "run_vectorized",
+    "run_vectorized_batch",
+    "vectorized_fixpoint",
+]
+
+# Packed decision key: class in bits 53+, length in bits 21..52,
+# sender index in bits 0..20.  INF uses class 5 (> PROVIDER).
+_CLS_SHIFT = 53
+_LEN_SHIFT = 21
+_SENDER_MASK = (1 << 21) - 1
+_LEN_MASK = (1 << 32) - 1
+_MAX_N = 1 << 21
+_MAX_LEN = 1 << 31  # headroom below the 2^32 length field
+
+
+def numpy_available() -> bool:
+    """True when the vectorized backend can run at all."""
+    return np is not None
+
+
+class VectorizedUnsupported(Exception):
+    """This run's inputs fall outside the vectorized core's domain.
+
+    The engine catches this and falls back to :func:`run_compiled`
+    (counted as ``engine.vectorized.fallbacks``) — raising instead of
+    silently wrong answers keeps the fallback contract honest.
+    """
+
+
+def _inf():
+    return np.int64(5) << _CLS_SHIFT
+
+
+class _EdgeViews:
+    """NumPy views of a topology's CSR arrays, announce-oriented.
+
+    Slot ``k`` is the directed edge ``owner[k] -> nbr[k]``; ``rev[k]``
+    is the matching Adj-RIB-in cell in the receiver's block.  Cached on
+    the topology (building them is O(E)); all integer arrays are int64
+    so packed-key arithmetic never needs casts.
+    """
+
+    __slots__ = ("n", "indptr", "nbr", "owner", "inv", "always", "sib", "rev")
+
+    def __init__(self, topo: CompiledTopology) -> None:
+        self.n = topo.n
+        self.indptr = np.asarray(topo.indptr).astype(np.int64)
+        self.nbr = np.asarray(topo.nbr).astype(np.int64)
+        self.owner = np.repeat(
+            np.arange(topo.n, dtype=np.int64), np.diff(self.indptr)
+        )
+        self.inv = np.asarray(topo.inv_pref).astype(np.int64)
+        self.always = np.asarray(topo.always_export).astype(bool)
+        self.sib = np.asarray(topo.is_sibling).astype(bool)
+        self.rev = np.asarray(topo.rev_slot).astype(np.int64)
+
+
+def _views(topo: CompiledTopology) -> _EdgeViews:
+    ev = topo._np
+    if ev is None:
+        ev = topo._np = _EdgeViews(topo)
+    return ev
+
+
+def _ranges(lens):
+    """Concatenated ``arange(l)`` for each l in ``lens``."""
+    total = int(lens.sum())
+    out = np.arange(total, dtype=np.int64)
+    return out - np.repeat(np.cumsum(lens) - lens, lens)
+
+
+def _slot_counts(topo: CompiledTopology, ev: _EdgeViews, prepending: PrependingPolicy):
+    """Per-announce-slot prepend counts.
+
+    Returns ``(counts, default_count, overrides)``: counts per slot,
+    the per-sender modal count (used for the one-``extend``-per-sender
+    emission gather), and ``{(sender, receiver): count}`` for the
+    slots whose per-link padding differs from their sender's default.
+    """
+    counts = np.ones(len(ev.nbr), dtype=np.int64)
+    default_count = np.ones(topo.n, dtype=np.int64)
+    overrides: dict[tuple[int, int], int] = {}
+    senders = prepending.senders()
+    if senders:
+        asn_of = topo.asn
+        index = topo.index
+        padding_of = prepending.padding
+        indptr = topo.indptr
+        nbr = topo.nbr
+        for s_asn in senders:
+            i = index.get(s_asn)
+            if i is None:
+                continue
+            lo, hi = indptr[i], indptr[i + 1]
+            if lo == hi:
+                continue
+            vals = [padding_of(s_asn, asn_of[nbr[k]]) for k in range(lo, hi)]
+            counts[lo:hi] = vals
+            default = max(set(vals), key=vals.count)
+            default_count[i] = default
+            for k, v in zip(range(lo, hi), vals):
+                if v != default:
+                    overrides[(i, int(nbr[k]))] = v
+    return counts, default_count, overrides
+
+
+def _fixpoint(ev: _EdgeViews, origin_idx, counts):
+    """Converge packed keys for each origin column.
+
+    ``origin_idx`` is an int64 array of origin indices (one column
+    each); ``counts`` the shared per-slot prepend counts.  Returns
+    ``(K, waves, levels)``: the (N, B) key matrix, the wave count, and
+    the per-wave ``(class, length)`` level list (per column) that the
+    Gao-phase property suite inspects.
+    """
+    inf = _inf()
+    n = ev.n
+    b = len(origin_idx)
+    keys = np.full((n, b), inf, dtype=np.int64)
+    keys[origin_idx, np.arange(b)] = 0
+    final = np.zeros((n, b), dtype=bool)
+    indptr = ev.indptr
+    always = ev.always
+    sib = ev.sib
+    inv = ev.inv
+    owner = ev.owner
+    nbr = ev.nbr
+    # Distinct (class, length) levels bound the wave count: 5 classes
+    # times the longest possible padded path, plus slack.  Hitting this
+    # is a bug (monotonicity guarantees termination), not an input
+    # property.
+    budget = 5 * (n * int(counts.max()) + 2)
+    waves = 0
+    levels: list = []
+    if b == 1:
+        # Single-column fast path: 1-D views, masked min (no tent
+        # copy), and every selected row is newly final in *the*
+        # column, so the freshness mask disappears and the scatter
+        # only touches allowed slots.
+        keys1 = keys[:, 0]
+        final1 = final[:, 0]
+        while True:
+            m = np.min(keys1, where=~final1, initial=inf)
+            if m >= inf:
+                break
+            level = m >> _LEN_SHIFT
+            newly1 = (~final1) & ((keys1 >> _LEN_SHIFT) == level)
+            final1 |= newly1
+            waves += 1
+            levels.append([(int(m >> _CLS_SHIFT), int((m >> _LEN_SHIFT) & _LEN_MASK))])
+            if waves > budget:  # pragma: no cover - monotonicity violation
+                raise ConvergenceError(waves)
+            rows = np.nonzero(newly1)[0]
+            lens = indptr[rows + 1] - indptr[rows]
+            if not int(lens.sum()):
+                continue
+            slots = np.repeat(indptr[rows], lens) + _ranges(lens)
+            src = owner[slots]
+            ks = keys1[src]
+            cls = ks >> _CLS_SHIFT
+            allowed = always[slots] | (cls <= 2)
+            slots = slots[allowed]
+            src = src[allowed]
+            ks = ks[allowed]
+            cls = cls[allowed]
+            ln = (ks >> _LEN_SHIFT) & _LEN_MASK
+            ocls = np.where(sib[slots], cls, inv[slots])
+            offer = (
+                (ocls << _CLS_SHIFT) | ((ln + counts[slots]) << _LEN_SHIFT) | src
+            )
+            np.minimum.at(keys1, nbr[slots], offer)
+        return keys, waves, levels
+    # Batch path: every per-wave gather/scatter runs on the flattened
+    # (node, column) pairs that are newly final, so the total relaxed
+    # entries across all waves is one per directed edge per column —
+    # the same work as B single-column runs, with the per-wave Python
+    # overhead amortised across the batch.
+    keys_flat = keys.reshape(-1)
+    while True:
+        m = np.min(keys, axis=0, where=~final, initial=inf)
+        active = m < inf
+        if not active.any():
+            break
+        level = m >> _LEN_SHIFT
+        newly = (~final) & ((keys >> _LEN_SHIFT) == level[None, :]) & active[None, :]
+        final |= newly
+        waves += 1
+        levels.append(
+            [
+                (int(c), int(ln)) if a else None
+                for c, ln, a in zip(m >> _CLS_SHIFT, (m >> _LEN_SHIFT) & _LEN_MASK, active)
+            ]
+        )
+        if waves > budget:  # pragma: no cover - monotonicity violation
+            raise ConvergenceError(waves)
+        rows, cols = np.nonzero(newly)
+        lens = indptr[rows + 1] - indptr[rows]
+        if not int(lens.sum()):
+            continue
+        slots = np.repeat(indptr[rows], lens) + _ranges(lens)
+        scol = np.repeat(cols, lens)
+        src = owner[slots]
+        ks = keys_flat[src * b + scol]
+        cls = ks >> _CLS_SHIFT
+        allowed = always[slots] | (cls <= 2)
+        slots = slots[allowed]
+        scol = scol[allowed]
+        src = src[allowed]
+        ks = ks[allowed]
+        cls = cls[allowed]
+        ln = (ks >> _LEN_SHIFT) & _LEN_MASK
+        ocls = np.where(sib[slots], cls, inv[slots])
+        offer = (
+            (ocls << _CLS_SHIFT) | ((ln + counts[slots]) << _LEN_SHIFT) | src
+        )
+        np.minimum.at(keys_flat, nbr[slots] * b + scol, offer)
+    return keys, waves, levels
+
+
+def _check_domain(topo: CompiledTopology, counts) -> None:
+    if topo.n >= _MAX_N:
+        raise VectorizedUnsupported(
+            f"{topo.n} ASes exceed the 2^21 sender-index field"
+        )
+    if topo.n * int(counts.max()) >= _MAX_LEN:
+        raise VectorizedUnsupported("padded path lengths overflow the key")
+
+
+def _emit_column(
+    topo: CompiledTopology,
+    ev: _EdgeViews,
+    table: InternTable,
+    keys,
+    *,
+    origin: int,
+    origin_idx: int,
+    prefix: str,
+    counts,
+    default_count,
+    overrides,
+):
+    """Build a full cold outcome (genuine :class:`CompiledState` plus
+    the deferred tuple emission) from one converged key column."""
+    from repro.bgp.engine import PropagationOutcome  # deferred: engine imports us
+
+    inf = _inf()
+    n = topo.n
+    extend = table.extend
+    routed = keys < inf
+    cls_np = (keys >> _CLS_SHIFT).astype(np.int64)
+    snd_np = (keys & _SENDER_MASK).astype(np.int64)
+
+    # Node order by increasing final key: a node's parent (its
+    # learned-from sender) always has a strictly smaller key, so one
+    # walk resolves parent-before-child quantities (depths, pids).
+    order = np.argsort(keys, kind="stable")[: int(routed.sum())]
+
+    # Learned-from forest as a parent-pointer array with fixed points
+    # at the origin and every unrouted node, then wave-clock depths
+    # (the vectorized discipline's adoption stamps) by pointer
+    # doubling — O(log depth) full-array gathers, no Python walk.
+    idx = np.arange(n, dtype=np.int64)
+    par = np.where(routed, snd_np, idx)
+    par[origin_idx] = origin_idx
+    depth_np = (par != idx).astype(np.int64)
+    jump = par
+    while True:
+        gain = depth_np[jump]
+        if not gain.any():
+            break
+        depth_np = depth_np + gain
+        jump = jump[jump]
+    max_depth = int(depth_np.max()) if n else 0
+
+    # Adj-RIB-in presence.  An offer is present iff the sender is
+    # routed, export is valley-free-allowed, and the receiver is not
+    # on the announced path.  The announced path is the sender's
+    # parent chain, so the loop test is an ancestor chase: walk the
+    # parent pointers (at most ``max_depth`` hops, all allowed slots
+    # at once) and flag slots whose receiver appears.  Fixed points
+    # make the walk idempotent once it reaches the origin; everything
+    # not emitted is an absent slot (-2), never an explicit
+    # withdrawal.
+    owner = ev.owner
+    s_cls = cls_np[owner]
+    allowed = routed[owner] & (ev.always | (s_cls <= 2))
+    cand = np.nonzero(allowed)[0]
+    walk = par[owner[cand]]
+    recv = ev.nbr[cand]
+    is_anc = walk == recv
+    for _ in range(max_depth - 1):
+        nxt = par[walk]
+        if (nxt == walk).all():
+            break
+        walk = nxt
+        is_anc |= walk == recv
+    sel = cand[~is_anc]
+    emit = np.zeros(len(owner), dtype=bool)
+    emit[sel] = True
+
+    # Interned pids, only where a pid is ever observable: a sender's
+    # announcement ``(s,)*count + path(s)`` needs interning iff ``s``
+    # actually emits an offer, and ``best_pid[v]`` is exactly the
+    # parent's announcement pid — so the extend set is offer senders ∪
+    # forest parents (the victim's export cone, typically a small
+    # fraction of the graph), identical in construction to the
+    # compiled hot loop's pids, so equal paths intern to equal pids on
+    # a shared table.  A need node's parent is itself a need node (it
+    # has that node as a child), so one key-ordered pass over the cone
+    # resolves every extend parent-first.
+    announces = np.zeros(n, dtype=bool)
+    announces[owner[sel]] = True
+    has_child = np.zeros(n, dtype=bool)
+    nonorigin = routed.copy()
+    nonorigin[origin_idx] = False
+    has_child[snd_np[nonorigin]] = True
+    need = announces | has_child
+    par_l = par.tolist()
+    dc_list = default_count.tolist()
+    bp_l = [0] * n
+    pe_l = [0] * n
+    for v in order[need[order]].tolist():
+        if v == origin_idx:
+            pid = 0
+        else:
+            p = par_l[v]
+            cnt = overrides.get((p, v))
+            pid = pe_l[p] if cnt is None else extend(bp_l[p], p, cnt)
+            bp_l[v] = pid
+        pe_l[v] = extend(pid, v, dc_list[v])
+    pid_export = np.asarray(pe_l, dtype=np.int64)
+
+    best_pid_np = np.where(routed, pid_export[par], 0)
+    best_pid_np[origin_idx] = 0
+    if overrides:
+        for (s, r), cnt in overrides.items():
+            if routed[r] and par_l[r] == s:
+                best_pid_np[r] = extend(bp_l[s], s, cnt)
+    best_pid = best_pid_np.tolist()
+
+    best_pref = np.where(routed, cls_np, -1).tolist()
+    best_from = np.where(routed, snd_np, -1).tolist()
+    best_from[origin_idx] = -1
+
+    num_slots = len(ev.nbr)
+    rib_pid_np = np.full(num_slots, -2, dtype=np.int64)
+    rib_pref_np = np.zeros(num_slots, dtype=np.int64)
+    rib_pid_np[ev.rev[sel]] = pid_export[owner[sel]]
+    rib_pref_np[ev.rev[sel]] = np.where(ev.sib[sel], s_cls[sel], ev.inv[sel])
+    if overrides:
+        slot_index = topo.slot_index
+        for (s, r), cnt in overrides.items():
+            k = slot_index[s][r]
+            if emit[k]:
+                rib_pid_np[ev.rev[k]] = extend(bp_l[s], s, cnt)
+    rib_pid = rib_pid_np.tolist()
+    rib_pref = rib_pref_np.tolist()
+
+    asn_of = topo.asn
+    asn_np = np.asarray(asn_of, dtype=np.int64)
+    adoption = dict(
+        zip(asn_np[order].tolist(), depth_np[order].tolist())
+    )
+
+    indptr = topo.indptr
+    nbr = topo.nbr
+    reify = table.reify
+    length = table.length
+
+    def materialise(out: "PropagationOutcome") -> None:
+        pref_of = _PREF_OF
+
+        def emit_best(i: int):
+            p = best_pref[i]
+            if p < 0:
+                return None, None
+            pid = best_pid[i]
+            learned_idx = best_from[i]
+            learned = None if learned_idx < 0 else asn_of[learned_idx]
+            return (
+                Route(prefix, reify(pid), learned, pref_of[p]),
+                (p, length[pid], -1 if learned is None else learned),
+            )
+
+        def emit_offers(i: int):
+            offers: dict = {}
+            for k in range(indptr[i], indptr[i + 1]):
+                pid = rib_pid[k]
+                if pid == -2:
+                    continue
+                offers[asn_of[nbr[k]]] = (reify(pid), pref_of[rib_pref[k]])
+            return offers
+
+        best_out = {}
+        keys_out = {}
+        adj_out = {}
+        for i in topo.iter_order:
+            a = asn_of[i]
+            best_out[a], keys_out[a] = emit_best(i)
+            adj_out[a] = emit_offers(i)
+        out._set_materialised(best_out, adj_out, keys_out)
+
+    outcome = PropagationOutcome(
+        prefix=prefix,
+        origin=origin,
+        adoption_round=adoption,
+        rounds=max_depth,
+        emit=materialise,
+    )
+    outcome.compiled_state = CompiledState(
+        table, best_pref, best_pid, best_from, rib_pid, rib_pref
+    )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+def run_vectorized(
+    topo: CompiledTopology,
+    table: InternTable,
+    *,
+    origin: int,
+    prefix: str,
+    prepending: PrependingPolicy,
+    metrics: RunMetrics | None = None,
+):
+    """One cold propagation on the vectorized core.
+
+    Raises :class:`VectorizedUnsupported` when the topology or padding
+    falls outside the packed-key domain; the engine's dispatch treats
+    that as a silent fallback to :func:`run_compiled`.
+    """
+    ev = _views(topo)
+    counts, default_count, overrides = _slot_counts(topo, ev, prepending)
+    _check_domain(topo, counts)
+    origin_idx = topo.index[origin]
+    keys, waves, _ = _fixpoint(ev, np.asarray([origin_idx], dtype=np.int64), counts)
+    outcome = _emit_column(
+        topo,
+        ev,
+        table,
+        keys[:, 0],
+        origin=origin,
+        origin_idx=origin_idx,
+        prefix=prefix,
+        counts=counts,
+        default_count=default_count,
+        overrides=overrides,
+    )
+    if metrics is not None and metrics.enabled:
+        metrics.count("engine.vectorized.propagations")
+        metrics.observe("engine.vectorized.waves", waves)
+    return outcome
+
+
+def run_vectorized_batch(
+    topo: CompiledTopology,
+    tables,
+    origins,
+    *,
+    prefix: str,
+    metrics: RunMetrics | None = None,
+):
+    """Converge many origins' canonical (λ=1) baselines in one walk.
+
+    ``tables`` maps each origin ASN to the intern table its outcome
+    should populate (the engine keeps one per origin); ``origins`` is
+    the batch, one key-matrix column each.  Only un-prepended runs
+    batch — the uniform-λ variants every sweep needs derive exactly
+    from these via :meth:`CompiledState.derive_uniform`.
+    """
+    ev = _views(topo)
+    counts = np.ones(len(ev.nbr), dtype=np.int64)
+    _check_domain(topo, counts)
+    default_count = np.ones(topo.n, dtype=np.int64)
+    origin_idx = np.asarray([topo.index[o] for o in origins], dtype=np.int64)
+    keys, waves, _ = _fixpoint(ev, origin_idx, counts)
+    outcomes = []
+    for col, o in enumerate(origins):
+        outcomes.append(
+            _emit_column(
+                topo,
+                ev,
+                tables[o],
+                keys[:, col],
+                origin=o,
+                origin_idx=int(origin_idx[col]),
+                prefix=prefix,
+                counts=counts,
+                default_count=default_count,
+                overrides={},
+            )
+        )
+    if metrics is not None and metrics.enabled:
+        metrics.count("engine.vectorized.propagations", len(origins))
+        metrics.count("engine.vectorized.batched_columns", len(origins))
+        metrics.observe("engine.vectorized.waves", waves)
+    return outcomes
+
+
+def vectorized_fixpoint(
+    topo: CompiledTopology,
+    origins,
+    *,
+    prepending: PrependingPolicy | None = None,
+):
+    """Raw packed-key fixpoint for benchmarking and property tests.
+
+    Returns ``(keys, waves, levels)``: the (N, B) int64 key matrix
+    (class·2^53 + length·2^21 + sender index; 5·2^53 = unreachable),
+    the wave count, and the per-wave per-column (class, length) levels.
+    No intern table, no outcome objects — this is the 80k-AS path,
+    whose route masks alone would dwarf the fixpoint's footprint.
+    ``topo`` may be a :class:`CompiledTopology` or a plain
+    :class:`~repro.topology.asgraph.ASGraph` (compiled on the fly).
+    """
+    if not isinstance(topo, CompiledTopology):
+        topo = CompiledTopology.from_graph(topo)
+    ev = _views(topo)
+    counts, _, _ = _slot_counts(topo, ev, prepending or PrependingPolicy())
+    _check_domain(topo, counts)
+    origin_idx = np.asarray([topo.index[o] for o in origins], dtype=np.int64)
+    return _fixpoint(ev, origin_idx, counts)

@@ -100,6 +100,83 @@ def _add_engine_mode_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--backend", choices=("compiled", "vectorized"), default="compiled",
+        help="propagation core: 'vectorized' converges cold baselines on "
+        "the NumPy CSR batched frontier (bit-identical results; needs "
+        "numpy, and warm/policy runs fall back to the compiled core)",
+    )
+
+
+def _add_topology_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--topology", type=str, default=None, metavar="SPEC",
+        help="replace the generated world: 'caida:<path>' loads a CAIDA "
+        "as-rel2 snapshot (.txt or .bz2), 'synth:<N>' generates an N-AS "
+        "power-law topology from --seed (overrides --scale)",
+    )
+
+
+def _resolve_world(args, parser: argparse.ArgumentParser):
+    """Build the world named by ``--topology`` (``None`` = generated)."""
+    spec = getattr(args, "topology", None)
+    if spec is None:
+        return None
+    kind, _, value = spec.partition(":")
+    if kind == "synth" and value:
+        from repro.topology.generators import generate_powerlaw_topology
+
+        try:
+            num_ases = int(value)
+        except ValueError:
+            parser.error(f"--topology synth:<N> needs an integer AS count: {spec!r}")
+        return generate_powerlaw_topology(num_ases, seed=args.seed)
+    if kind != "caida" or not value:
+        parser.error(
+            f"--topology must be 'caida:<path>' or 'synth:<N>', got {spec!r}"
+        )
+    from repro.topology.generators import GeneratedTopology
+    from repro.topology.serialization import load_asrel2
+    from repro.topology.tiers import classify_tiers
+
+    graph = load_asrel2(value)
+    tiers = classify_tiers(graph)
+    return GeneratedTopology(
+        graph,
+        tier1=sorted(a for a, t in tiers.items() if t == 1),
+        tier2=sorted(a for a, t in tiers.items() if t == 2),
+        tier3=sorted(a for a, t in tiers.items() if t == 3),
+        tier4=sorted(a for a, t in tiers.items() if t >= 4),
+        stubs=sorted(a for a in graph.ases if not graph.customers_of(a)),
+    )
+
+
+def _make_study(args, parser: argparse.ArgumentParser, *, monitors, placement="top-degree"):
+    """An :class:`InterceptionStudy` honouring --topology/--backend."""
+    from repro.core import InterceptionStudy
+
+    backend = getattr(args, "backend", "compiled")
+    world = _resolve_world(args, parser)
+    if world is not None:
+        return InterceptionStudy(
+            world,
+            monitors=monitors,
+            placement=placement,
+            seed=args.seed,
+            engine_mode=args.engine_mode,
+            backend=backend,
+        )
+    return InterceptionStudy.generate(
+        seed=args.seed,
+        scale=args.scale,
+        monitors=monitors,
+        placement=placement,
+        engine_mode=args.engine_mode,
+        backend=backend,
+    )
+
+
 def _make_metrics(args, parser: argparse.ArgumentParser) -> RunMetrics | None:
     """Validate the metrics flags and build the registry (or ``None``)."""
     mode = getattr(args, "metrics", "off")
@@ -201,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "killed, the pool respawned, and the instance retried",
     )
     _add_engine_mode_flag(campaign_parser)
+    _add_backend_flag(campaign_parser)
+    _add_topology_flag(campaign_parser)
     _add_metrics_flags(campaign_parser)
 
     grid_parser = subparsers.add_parser(
@@ -239,6 +318,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="per-cell deadline in pool mode",
     )
     _add_engine_mode_flag(grid_parser)
+    _add_backend_flag(grid_parser)
+    _add_topology_flag(grid_parser)
     _add_metrics_flags(grid_parser)
 
     secpol_parser = subparsers.add_parser(
@@ -297,6 +378,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="per-point deadline in pool mode",
     )
     _add_engine_mode_flag(secpol_parser)
+    _add_backend_flag(secpol_parser)
+    _add_topology_flag(secpol_parser)
     _add_metrics_flags(secpol_parser)
 
     args = parser.parse_args(argv)
@@ -307,9 +390,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "world":
         return _world(args)
     if args.command == "campaign":
-        return _campaign(args, _make_metrics(args, parser))
+        return _campaign(args, parser, _make_metrics(args, parser))
     if args.command == "grid":
-        return _grid(args, _make_metrics(args, parser))
+        return _grid(args, parser, _make_metrics(args, parser))
     if args.command == "secpol-sweep":
         return _secpol_sweep(args, parser, _make_metrics(args, parser))
     overrides = {
@@ -369,7 +452,6 @@ def _retry_policy(args):
 
 
 def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
-    from repro.core import InterceptionStudy
     from repro.topology.tiers import classify_tiers, customer_cone
     from repro.utils.tables import format_table
 
@@ -381,9 +463,7 @@ def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
         parser.error(f"--fractions must be comma-separated floats: {args.fractions!r}")
     if not fractions:
         parser.error("--fractions must name at least one fraction")
-    study = InterceptionStudy.generate(
-        seed=args.seed, scale=args.scale, monitors=1, engine_mode=args.engine_mode
-    )
+    study = _make_study(args, parser, monitors=1)
     graph = study.world.graph
     victim, attacker = args.victim, args.attacker
     if victim is None:
@@ -435,13 +515,10 @@ def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
     return 0
 
 
-def _grid(args, metrics: RunMetrics | None = None) -> int:
-    from repro.core import InterceptionStudy
+def _grid(args, parser, metrics: RunMetrics | None = None) -> int:
     from repro.topology.tiers import customer_cone
 
-    study = InterceptionStudy.generate(
-        seed=args.seed, scale=args.scale, monitors=1, engine_mode=args.engine_mode
-    )
+    study = _make_study(args, parser, monitors=1)
     graph = study.world.graph
 
     def top_by_cone(pool, limit):
@@ -473,16 +550,10 @@ def _grid(args, metrics: RunMetrics | None = None) -> int:
     return 0
 
 
-def _campaign(args, metrics: RunMetrics | None = None) -> int:
-    from repro.core import InterceptionStudy
-
+def _campaign(args, parser, metrics: RunMetrics | None = None) -> int:
     retry = _retry_policy(args)
-    study = InterceptionStudy.generate(
-        seed=args.seed,
-        scale=args.scale,
-        monitors=args.monitors,
-        placement=args.placement,
-        engine_mode=args.engine_mode,
+    study = _make_study(
+        args, parser, monitors=args.monitors, placement=args.placement
     )
     campaign = study.campaign(
         pairs=args.pairs,

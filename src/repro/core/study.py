@@ -106,6 +106,7 @@ class InterceptionStudy:
         placement: str = "top-degree",
         seed: int = 7,
         engine_mode: str = "full",
+        backend: str = "compiled",
     ) -> None:
         """``placement`` is ``"top-degree"`` (the paper's) or
         ``"greedy-cover"`` (the optimised future-work strategy).
@@ -113,10 +114,17 @@ class InterceptionStudy:
         ``engine_mode`` selects the warm-propagation strategy of the
         study's engine: ``"full"`` (the default oracle) or ``"delta"``
         (incremental copy-on-write re-convergence, bit-identical
-        results — see :mod:`repro.bgp.delta`)."""
+        results — see :mod:`repro.bgp.delta`).  ``backend`` selects the
+        propagation core (``"compiled"``, ``"vectorized"`` for
+        Internet-scale worlds, or ``"reference"``); delta mode is a
+        compiled-core strategy, so other backends run ``"full"``."""
         self._world = world
         self._seed = seed
-        self._engine = PropagationEngine(world.graph, mode=engine_mode)
+        self._engine = PropagationEngine(
+            world.graph,
+            backend=backend,
+            mode=engine_mode if backend == "compiled" else "full",
+        )
         count = min(monitors, len(world.graph))
         if placement == "top-degree":
             fleet = top_degree_monitors(world.graph, count)
@@ -141,6 +149,7 @@ class InterceptionStudy:
         monitors: int = 150,
         placement: str = "top-degree",
         engine_mode: str = "full",
+        backend: str = "compiled",
     ) -> "InterceptionStudy":
         """Generate a fresh Internet-like world and wrap it in a study."""
         topo_rng = derive_rng(make_rng(seed), "topology")
@@ -152,6 +161,7 @@ class InterceptionStudy:
             placement=placement,
             seed=seed,
             engine_mode=engine_mode,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------

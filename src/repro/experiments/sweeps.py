@@ -48,7 +48,18 @@ __all__ = ["exhaustive_grid", "padding_sweep", "pair_grid", "deployment_sweep"]
 
 def _prefetch_families(ctx: WorkerContext, tasks: Sequence[SweepPointTask]) -> None:
     """Warm the whole uniform-λ family for each victim in one canonical
-    pass (repeat victims are already-cached no-ops)."""
+    pass (repeat victims are already-cached no-ops).
+
+    On a vectorized-backend engine the distinct victims converge first
+    as one batched walk (a key-matrix column each), so a pair grid's
+    canonical baselines cost one frontier sweep instead of one
+    convergence per victim; the per-victim λ derivations then ride on
+    the batched results."""
+    by_prefix: dict[str, list[int]] = {}
+    for task in tasks:
+        by_prefix.setdefault(task.prefix, []).append(task.victim)
+    for prefix, victims in by_prefix.items():
+        ctx.cache.prefetch_canonical_batch(victims, prefix=prefix)
     for task in tasks:
         ctx.cache.prefetch_uniform(
             task.victim,

@@ -273,6 +273,39 @@ class BaselineCache:
             self._record("cache.baseline_misses")
             self._record("cache.baseline_derivations")
 
+    def prefetch_canonical_batch(
+        self, victims: Iterable[int], *, prefix: str = DEFAULT_PREFIX
+    ) -> int:
+        """Converge many victims' canonical λ=1 baselines at once.
+
+        On a vectorized-backend engine the missing victims share one
+        CSR frontier walk (a key-matrix column each, via
+        :meth:`PropagationEngine.propagate_batch`); other backends fall
+        back to the per-victim canonical path.  Grids call this before
+        their per-victim uniform-λ warm so a campaign's baselines cost
+        one batched walk instead of one convergence per victim.
+        Returns the number of baselines converged.
+        """
+        missing = []
+        for v in dict.fromkeys(victims):
+            key = (v, prefix, PrependingPolicy().fingerprint())
+            if key not in self._entries:
+                missing.append((v, key))
+        if not missing:
+            return 0
+        if self._engine.backend != "vectorized" or len(missing) == 1:
+            for v, _ in missing:
+                self._canonical(v, prefix)
+            return len(missing)
+        outcomes = self._engine.propagate_batch(
+            [v for v, _ in missing], prefix=prefix
+        )
+        for v, key in missing:
+            self._record("cache.canonical_convergences")
+            self._record("cache.batched_convergences")
+            self._store(key, outcomes[v])
+        return len(missing)
+
     # ------------------------------------------------------------------
     def _canonical(self, victim: int, prefix: str) -> PropagationOutcome:
         """The victim's λ=1 baseline (converged at most once)."""

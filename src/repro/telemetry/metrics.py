@@ -50,7 +50,10 @@ __all__ = ["CACHE_SHAPE_PREFIXES", "Counter", "Timer", "Histogram", "RunMetrics"
 #: cache-shaped for the same reason, as are the delta-propagation
 #: reuse counters (``engine.delta.*`` — whether a run takes the delta
 #: path or falls back to the full recompute depends on which baseline
-#: object the local cache handed it).  The whole ``runner.*`` namespace
+#: object the local cache handed it), and the vectorized dispatch
+#: counters (``engine.vectorized.*`` — how many runs batch into one
+#: frontier walk, and how many fall back to the compiled core, depends
+#: on how the work was grouped).  The whole ``runner.*`` namespace
 #: is run-shaped by construction: shared-memory transport accounting
 #: (``runner.shm.*`` — per-worker, absent on the serial path) and the
 #: supervisor's recovery counters (``runner.retries``,
@@ -62,6 +65,7 @@ CACHE_SHAPE_PREFIXES = (
     "engine.cold.",
     "engine.compiled.",
     "engine.delta.",
+    "engine.vectorized.",
     "runner.",
 )
 

@@ -9,9 +9,19 @@ serialization.
 """
 
 from repro.topology.asgraph import ASGraph
-from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    PowerLawConfig,
+    generate_internet_topology,
+    generate_powerlaw_topology,
+)
 from repro.topology.relationships import PrefClass, Relationship
-from repro.topology.serialization import load_caida, save_caida
+from repro.topology.serialization import (
+    load_asrel2,
+    load_caida,
+    loads_asrel2,
+    save_caida,
+)
 from repro.topology.tiers import classify_tiers, customer_cone, tier1_ases
 
 __all__ = [
@@ -19,8 +29,12 @@ __all__ = [
     "Relationship",
     "PrefClass",
     "InternetTopologyConfig",
+    "PowerLawConfig",
     "generate_internet_topology",
+    "generate_powerlaw_topology",
     "load_caida",
+    "load_asrel2",
+    "loads_asrel2",
     "save_caida",
     "classify_tiers",
     "customer_cone",

@@ -32,22 +32,30 @@ from repro.bgp.engine import PropagationEngine
 from repro.topology.generators import (
     GeneratedTopology,
     InternetTopologyConfig,
+    PowerLawConfig,
     generate_internet_topology,
+    generate_powerlaw_topology,
 )
 
 __all__ = [
+    "SCALE_SMOKE",
     "TINY",
     "TINY_DETECTION",
     "TINY_NO_SIBLINGS",
     "TINY_WITH_SIBLINGS",
     "assert_outcomes_identical",
+    "assert_vectorized_matches",
     "backend_pair",
     "draw_attacker_then_victim",
     "draw_victim_then_attacker",
     "paddings",
+    "powerlaw_config",
+    "scale_configs",
+    "scale_world",
     "seeds",
     "tiny_config",
     "tiny_world",
+    "vectorized_pair",
 ]
 
 
@@ -142,6 +150,106 @@ def draw_attacker_then_victim(
     attacker = rng.choice(world.transit_ases)
     victim = rng.choice([a for a in world.graph.ases if a != attacker])
     return victim, attacker
+
+
+def powerlaw_config(num_ases: int, **overrides) -> PowerLawConfig:
+    """A test-friendly power-law config at a chosen scale.
+
+    Defaults keep density modest (fast hypothesis examples) while
+    preserving the tiered structure — override any
+    :class:`PowerLawConfig` field for denser or stranger shapes.
+    """
+    params = dict(
+        num_ases=num_ases,
+        tier1_size=min(8, max(3, num_ases // 40)),
+        transit_fraction=0.15,
+        transit_providers=(1, 3),
+        stub_providers=(1, 2),
+        transit_peering_degree=(0, 3),
+        sibling_pairs=min(3, num_ases // 100),
+    )
+    params.update(overrides)
+    return PowerLawConfig(**params)
+
+
+#: The scale differential suites' default world — the 1.5k-AS floor of
+#: the oracle ladder (1.5k in-suite, 10k in CI scale-smoke, 80k local).
+SCALE_SMOKE = powerlaw_config(1500)
+
+
+def scale_world(
+    seed: int, config: PowerLawConfig = SCALE_SMOKE
+) -> tuple[GeneratedTopology, random.Random]:
+    """Generate a power-law world at scale; return it with a scenario rng.
+
+    Unlike :func:`tiny_world` the generator consumes a NumPy bit
+    stream, so the scenario rng is a separate ``random.Random`` derived
+    from the same seed — picks stay a pure function of ``seed``.
+    """
+    world = generate_powerlaw_topology(config, seed=seed)
+    return world, random.Random(seed ^ 0x5CA1E)
+
+
+@st.composite
+def scale_configs(draw, min_ases: int = 80, max_ases: int = 400):
+    """Hypothesis strategy over tiered power-law configs.
+
+    Scale-parameterized: AS count, tier-1 clique size, transit share,
+    peering spread, and sibling count all vary, so the differential
+    suites exercise the vectorized core across graph shapes rather
+    than one fixed topology."""
+    num_ases = draw(st.integers(min_ases, max_ases))
+    return powerlaw_config(
+        num_ases,
+        tier1_size=draw(st.integers(3, 8)),
+        transit_fraction=draw(st.floats(0.08, 0.3)),
+        transit_peering_degree=(0, draw(st.integers(1, 6))),
+        sibling_pairs=draw(st.integers(0, 3)),
+    )
+
+
+def vectorized_pair(
+    world: GeneratedTopology,
+) -> tuple[PropagationEngine, PropagationEngine]:
+    """(compiled, vectorized) oracle/candidate engines over one graph."""
+    return (
+        PropagationEngine(world.graph, backend="compiled"),
+        PropagationEngine(world.graph, backend="vectorized"),
+    )
+
+
+def assert_vectorized_matches(
+    oracle, candidate, *, stamps: bool = False, warm: bool = False
+) -> None:
+    """The vectorized cold-run contract against a compiled/reference
+    oracle: ``best``/``best_keys`` bit-identical including dict
+    iteration order, Adj-RIB-in equal on every *present* offer with no
+    explicit-``None`` withdrawals on the vectorized side, and (for
+    warm restarts computed from vectorized baselines) adoption stamps
+    and round counts too when ``stamps=True``.
+
+    ``warm=True`` is for comparing two *compiled warm runs* that differ
+    only in which baseline (compiled vs vectorized) seeded them: the
+    compiled warm flood emits explicit-``None`` withdrawals on both
+    sides, and the baselines' absent-vs-``None`` difference survives in
+    untouched slots — so both Adj-RIBs-in compare modulo ``None``."""
+    assert oracle.prefix == candidate.prefix
+    assert oracle.origin == candidate.origin
+    assert list(oracle.best.items()) == list(candidate.best.items())
+    assert oracle.best_keys == candidate.best_keys
+    assert list(oracle.adj_rib_in) == list(candidate.adj_rib_in)
+    if not warm:
+        for a, offers in candidate.adj_rib_in.items():
+            assert None not in offers.values(), f"explicit withdrawal emitted at AS {a}"
+    for a, offers in oracle.adj_rib_in.items():
+        present = {s: o for s, o in offers.items() if o is not None}
+        other = {
+            s: o for s, o in candidate.adj_rib_in[a].items() if o is not None
+        }
+        assert present == other, f"Adj-RIB-in diverges at AS {a}"
+    if stamps:
+        assert oracle.adoption_round == candidate.adoption_round
+        assert oracle.rounds == candidate.rounds
 
 
 def assert_outcomes_identical(ref, other) -> None:
