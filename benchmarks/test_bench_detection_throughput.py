@@ -1,0 +1,218 @@
+"""Sustained-throughput benchmarks of the streaming detection pipeline.
+
+The workload is the churn synthesizer's RouteViews-scale mix: 800
+monitor feeds (RouteViews aggregates 600-900 peers), a full-scale
+topology, and a ~30k-update background-flap stream.  Three disciplines
+are timed and recorded in ``BENCH_engine.json``:
+
+* ``legacy_ups`` — the seed detector
+  (:meth:`StreamingDetector.consume_all` with its historical per-update
+  snapshot copies), the semantic oracle and the gate's denominator;
+* ``pipeline_ups`` — :meth:`PipelineDetector.consume_batch` over the
+  identical stream, metrics off (the sustained hot path);
+* ``multifeed_ups`` — the same stream split across 4 bounded feed
+  queues and re-merged by sequence (the deployment shape), recorded
+  ungated alongside its backpressure counters.
+
+The ≥10x acceptance gate rides on the single-stream consume path over
+**background churn** (``attack=False``): an attack burst triggers the
+full Figure-4 scan, an O(monitors x path) cost both implementations
+share by construction (equivalence-tested), which at 800 monitors
+would swamp the per-update machinery this PR actually rebuilt.  Alarm
+parity on an attack-bearing stream is asserted separately below before
+any timing is trusted.
+
+p50/p99 per-update latency comes from a separate instrumented pass
+(the latency histogram itself costs two ``perf_counter`` calls per
+update, so it is never measured on the throughput pass).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from test_bench_engine_perf import _merge_bench
+
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.pipeline import PipelineDetector, StreamingPipeline, split_stream
+from repro.detection.streaming import StreamingDetector
+from repro.measurement.churn import ChurnConfig, synthesize_churn_stream
+from repro.telemetry.metrics import RunMetrics
+
+import pytest
+
+MONITORS = 800
+UPDATES = 30_000
+SPEEDUP_GATE = 10.0
+
+
+def _min_of(repeats, fn):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _min_of_consume(repeats, make_detector, consume_name, messages):
+    """Min-of-N over the *consume* call alone: a fresh primed detector
+    is built per repeat (outside the clock), so every rep replays the
+    identical cold-table stream."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        consume = getattr(make_detector(), consume_name)
+        start = time.perf_counter()
+        result = consume(messages)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def churn():
+    """The gated workload: pure background churn at RouteViews scale."""
+    return synthesize_churn_stream(
+        ChurnConfig(
+            seed=7, scale=1.0, monitors=MONITORS, updates=UPDATES, attack=False
+        )
+    )
+
+
+def _legacy(stream):
+    detector = StreamingDetector(
+        ASPPInterceptionDetector(stream.world.graph), copy_views=True
+    )
+    for view in stream.baselines.values():
+        detector.prime(view)
+    return detector
+
+
+def _pipeline(stream, metrics=None):
+    detector = PipelineDetector(
+        ASPPInterceptionDetector(stream.world.graph),
+        stream.world.graph,
+        metrics=metrics,
+    )
+    for view in stream.baselines.values():
+        detector.prime(view)
+    return detector
+
+
+def test_bench_streaming_throughput(churn):
+    """The PR's acceptance gate: >=10x sustained updates/sec over the
+    seed ``consume_all`` path, p50/p99 reported alongside."""
+    messages = churn.plain_messages()
+    graph = churn.world.graph
+
+    # Alarm parity first, on a stream that actually alarms: same world,
+    # attack burst + heavily padded backups, every trigger path live.
+    alarmed = synthesize_churn_stream(
+        ChurnConfig(
+            seed=7,
+            scale=1.0,
+            monitors=200,
+            updates=4_000,
+            backup_padding=4,
+        ),
+        world=churn.world,
+    )
+    oracle = StreamingDetector(ASPPInterceptionDetector(graph), copy_views=True)
+    fast = PipelineDetector(ASPPInterceptionDetector(graph), graph)
+    for view in alarmed.baselines.values():
+        oracle.prime(view)
+        fast.prime(view)
+    expected = oracle.consume_all(alarmed.plain_messages())
+    assert fast.consume_batch(alarmed.plain_messages()) == expected
+    assert expected, "the attack-bearing stream must raise alarms"
+
+    legacy_s, legacy_alarms = _min_of_consume(
+        3, lambda: _legacy(churn), "consume_all", messages
+    )
+    pipeline_s, pipeline_alarms = _min_of_consume(
+        3, lambda: _pipeline(churn), "consume_batch", messages
+    )
+    assert legacy_alarms == pipeline_alarms == []
+
+    # Instrumented pass: per-update latency histogram (never timed).
+    metrics = RunMetrics()
+    instrumented = _pipeline(churn, metrics=metrics)
+    instrumented.consume_batch(messages)
+    latency = metrics.histograms["detection.pipeline.update_latency_us"]
+    assert latency.count == len(messages)
+
+    legacy_ups = len(messages) / legacy_s
+    pipeline_ups = len(messages) / pipeline_s
+    speedup = legacy_ups and pipeline_ups / legacy_ups
+    _merge_bench(
+        "streaming_throughput",
+        {
+            "updates": len(messages),
+            "monitors": MONITORS,
+            "topology_ases": len(graph.ases),
+            "legacy_ups": round(legacy_ups),
+            "pipeline_ups": round(pipeline_ups),
+            "speedup": round(speedup, 1),
+            "p50_us": round(latency.quantile(0.5), 2),
+            "p99_us": round(latency.quantile(0.99), 2),
+            "gate": f">= {SPEEDUP_GATE}x",
+        },
+    )
+    print(
+        f"\nstreaming throughput: legacy {legacy_ups:,.0f}/s, "
+        f"pipeline {pipeline_ups:,.0f}/s ({speedup:.1f}x), "
+        f"p50 {latency.quantile(0.5):.1f}us p99 {latency.quantile(0.99):.1f}us"
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"pipeline speedup {speedup:.1f}x fell below the {SPEEDUP_GATE}x gate "
+        f"({pipeline_ups:,.0f} vs {legacy_ups:,.0f} updates/sec)"
+    )
+
+
+def test_bench_multifeed_pipeline(churn):
+    """The deployment shape: 4 bounded feeds, batch=64, sequence-order
+    merge.  Recorded (ungated) with its backpressure telemetry; alarms
+    must match the serial oracle exactly."""
+    messages = churn.plain_messages()
+    streams = split_stream(churn.messages, 4, rng=random.Random(3))
+
+    def run():
+        metrics = RunMetrics()
+        pipeline = StreamingPipeline(
+            _pipeline(churn),
+            feeds=4,
+            batch=64,
+            capacity=256,
+            policy="block",
+            metrics=metrics,
+        )
+        alarms = pipeline.run(streams, rng=random.Random(11))
+        return pipeline, metrics, alarms
+
+    elapsed, (pipeline, metrics, alarms) = _min_of(3, run)
+    assert alarms == []
+    assert pipeline.processed == len(messages)
+
+    queue_depth = metrics.histograms["detection.pipeline.queue_depth"]
+    multifeed_ups = len(messages) / elapsed
+    _merge_bench(
+        "streaming_multifeed",
+        {
+            "updates": len(messages),
+            "feeds": 4,
+            "batch": 64,
+            "policy": "block",
+            "multifeed_ups": round(multifeed_ups),
+            "blocked": pipeline.blocked,
+            "dropped": pipeline.dropped,
+            "parked": pipeline.parked,
+            "queue_depth_p99": round(queue_depth.quantile(0.99), 1),
+        },
+    )
+    print(f"\nmultifeed pipeline: {multifeed_ups:,.0f} updates/sec")

@@ -22,7 +22,7 @@ from repro.bgp.route import Route
 from repro.exceptions import SimulationError
 from repro.topology.asgraph import ASGraph
 
-__all__ = ["UpdateMessage", "simulate_update_stream"]
+__all__ = ["UpdateMessage", "SequencedUpdate", "simulate_update_stream"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +33,22 @@ class UpdateMessage:
     prefix: str
     path: tuple[int, ...]
     withdrawn: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SequencedUpdate:
+    """An update stamped with its position in the global stream.
+
+    Real collector feeds carry per-message timestamps; the simulation's
+    equivalent is a dense sequence number assigned when the stream is
+    synthesized.  A multi-feed pipeline that receives disjoint slices
+    of one stream merges them back into sequence order, which is what
+    makes its alarms independent of the feed interleaving (see
+    :class:`repro.detection.pipeline.StreamingPipeline`).
+    """
+
+    seq: int
+    message: UpdateMessage
 
 
 def simulate_update_stream(

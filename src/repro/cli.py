@@ -382,6 +382,49 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_topology_flag(secpol_parser)
     _add_metrics_flags(secpol_parser)
 
+    stream_parser = subparsers.add_parser(
+        "detect-stream",
+        help="run the streaming detection pipeline over a synthesized "
+        "churn stream and report sustained throughput",
+    )
+    stream_parser.add_argument("--seed", type=int, default=7)
+    stream_parser.add_argument("--scale", type=float, default=0.5)
+    stream_parser.add_argument(
+        "--monitors", type=int, default=100,
+        help="top-degree monitor feeds the collector aggregates",
+    )
+    stream_parser.add_argument(
+        "--updates", type=int, default=20000,
+        help="target churn-stream length (attack burst included)",
+    )
+    stream_parser.add_argument(
+        "--prefixes", type=int, default=4,
+        help="background prefixes flapping alongside the victim's",
+    )
+    stream_parser.add_argument(
+        "--feeds", type=int, default=4,
+        help="collector feeds the stream is split across",
+    )
+    stream_parser.add_argument(
+        "--batch", type=int, default=64,
+        help="updates handed to the detector per consume_batch call",
+    )
+    stream_parser.add_argument(
+        "--backpressure", choices=("block", "drop", "park"), default="block",
+        help="bounded-queue overflow policy",
+    )
+    stream_parser.add_argument(
+        "--capacity", type=int, default=256,
+        help="per-feed queue capacity",
+    )
+    stream_parser.add_argument("--padding", type=int, default=3,
+        help="the attack victim's origin padding λ")
+    stream_parser.add_argument(
+        "--no-attack", action="store_true",
+        help="background churn only (no interception burst)",
+    )
+    _add_metrics_flags(stream_parser)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for experiment_id in REGISTRY:
@@ -395,6 +438,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _grid(args, parser, _make_metrics(args, parser))
     if args.command == "secpol-sweep":
         return _secpol_sweep(args, parser, _make_metrics(args, parser))
+    if args.command == "detect-stream":
+        return _detect_stream(args, parser, _make_metrics(args, parser))
     overrides = {
         name: getattr(args, name, None)
         for name in ("seed", "scale", "pairs", "instances", "workers")
@@ -546,6 +591,78 @@ def _grid(args, parser, metrics: RunMetrics | None = None) -> int:
     print(f"  cells:               {len(results)}")
     print(f"  effective attacks:   {len(effective)}/{len(results)}")
     print(f"  mean pollution:      {mean_after:.1%}")
+    _emit_metrics(args, metrics)
+    return 0
+
+
+def _detect_stream(args, parser, metrics: RunMetrics | None = None) -> int:
+    import time
+
+    from repro.detection.detector import ASPPInterceptionDetector
+    from repro.detection.pipeline import (
+        PipelineDetector,
+        StreamingPipeline,
+        split_stream,
+    )
+    from repro.measurement.churn import ChurnConfig, synthesize_churn_stream
+
+    config = ChurnConfig(
+        seed=args.seed,
+        scale=args.scale,
+        monitors=args.monitors,
+        prefixes=args.prefixes,
+        updates=args.updates,
+        attack=not args.no_attack,
+        padding=args.padding,
+    )
+    stream = synthesize_churn_stream(config)
+    graph = stream.world.graph
+    # The p50/p99 summary needs the per-update latency histogram, so the
+    # pipeline is always instrumented here; --metrics controls only
+    # whether the full registry is emitted afterwards.
+    registry = metrics if metrics is not None else RunMetrics()
+    detector = PipelineDetector(
+        ASPPInterceptionDetector(graph), graph, metrics=registry
+    )
+    pipeline = StreamingPipeline(
+        detector,
+        feeds=args.feeds,
+        batch=args.batch,
+        capacity=args.capacity,
+        policy=args.backpressure,
+        metrics=registry,
+    )
+    for view in stream.baselines.values():
+        pipeline.prime(view)
+    streams = split_stream(stream.messages, args.feeds)
+    start = time.perf_counter()
+    alarms = pipeline.run(streams)
+    elapsed = time.perf_counter() - start
+    throughput = pipeline.processed / elapsed if elapsed > 0 else float("inf")
+
+    latency = registry.histograms.get("detection.pipeline.update_latency_us")
+    print(
+        f"detect-stream: {stream.updates} updates, {args.feeds} feeds, "
+        f"batch={args.batch}, backpressure={args.backpressure}, "
+        f"{len(stream.collector.monitors)} monitors"
+    )
+    print(f"  throughput:          {throughput:,.0f} updates/sec")
+    if latency is not None and latency.count:
+        print(f"  latency p50:         {latency.quantile(0.5):.1f} us")
+        print(f"  latency p99:         {latency.quantile(0.99):.1f} us")
+    print(
+        f"  backpressure:        blocked={pipeline.blocked} "
+        f"dropped={pipeline.dropped} parked={pipeline.parked}"
+    )
+    print(f"  alarms:              {len(alarms)}")
+    if not args.no_attack:
+        victim_prefix = stream.attack_result.baseline.prefix
+        detected = any(a.prefix == victim_prefix for a in alarms)
+        verdict = "DETECTED" if detected else "missed"
+        print(
+            f"  attack:              AS{stream.attacker} intercepting "
+            f"AS{stream.victim} ({victim_prefix}) — {verdict}"
+        )
     _emit_metrics(args, metrics)
     return 0
 

@@ -11,7 +11,10 @@
   detectors, which catch the baseline attacks but *not* ASPP
   interception;
 * :mod:`repro.detection.timing` — pollution-before-detection analysis
-  (Figure 14).
+  (Figure 14);
+* :mod:`repro.detection.pipeline` — the high-throughput streaming
+  pipeline: radix-indexed routing tables, interned-path hot loop, and
+  batched multi-feed ingestion with backpressure.
 """
 
 from repro.detection.alarms import Alarm, Confidence
@@ -21,6 +24,11 @@ from repro.detection.monitors import (
     random_monitors,
     top_degree_monitors,
     victim_adjacent_monitors,
+)
+from repro.detection.pipeline import (
+    PipelineDetector,
+    RadixRoutingTable,
+    StreamingPipeline,
 )
 from repro.detection.placement import attacker_coverage, greedy_cover_monitors
 from repro.detection.selfcheck import PrefixOwnerSelfCheck
@@ -39,6 +47,9 @@ __all__ = [
     "attacker_coverage",
     "StreamingDetector",
     "attack_update_stream",
+    "PipelineDetector",
+    "RadixRoutingTable",
+    "StreamingPipeline",
     "detect_moas",
     "detect_new_links",
     "DetectionTiming",

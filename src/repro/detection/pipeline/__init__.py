@@ -1,0 +1,49 @@
+"""High-throughput streaming detection (the ROADMAP's ARTEMIS-shaped
+ingestion pipeline).
+
+The single-feed :class:`~repro.detection.streaming.StreamingDetector`
+is the semantic oracle: correct, equivalence-tested, and O(monitors)
+per update.  This package is the same detector rebuilt for
+RouteViews-scale churn:
+
+* :mod:`repro.detection.pipeline.radix` — a pure-Python binary radix
+  trie keyed on IPv4 prefixes with longest-match lookup, the index
+  structure real hijack detectors (ARTEMIS, PHAS) hang their routing
+  state off;
+* :mod:`repro.detection.pipeline.table` — the prefix-indexed routing
+  table: per-(prefix, monitor) route slots in flat arrays, AS-paths
+  interned through :class:`repro.bgp.compiled.InternTable`, and
+  :class:`PipelineDetector`, whose per-update hot path does zero dict
+  copies (the Figure-4 inspection reads a *live* view) and whose
+  padding precheck runs in O(1) amortised on interned path ids;
+* :mod:`repro.detection.pipeline.ingest` — batched multi-feed
+  ingestion: N monitor feeds drained through bounded queues with
+  explicit backpressure (``block`` / ``drop`` / ``park``), merged by
+  sequence stamp so any feed interleaving yields the same alarms as
+  the serial oracle.
+"""
+
+from repro.detection.pipeline.ingest import (
+    BACKPRESSURE_POLICIES,
+    FeedQueue,
+    StreamingPipeline,
+    split_stream,
+)
+from repro.detection.pipeline.radix import PrefixTrie, parse_prefix
+from repro.detection.pipeline.table import (
+    LiveMonitorView,
+    PipelineDetector,
+    RadixRoutingTable,
+)
+
+__all__ = [
+    "parse_prefix",
+    "PrefixTrie",
+    "RadixRoutingTable",
+    "LiveMonitorView",
+    "PipelineDetector",
+    "FeedQueue",
+    "StreamingPipeline",
+    "BACKPRESSURE_POLICIES",
+    "split_stream",
+]

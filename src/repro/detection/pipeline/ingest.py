@@ -1,0 +1,292 @@
+"""Batched multi-feed ingestion with bounded queues and backpressure.
+
+A deployment watches many collector feeds at once (RouteViews alone
+exports dozens); each feed delivers a slice of the global update stream
+in order, but the slices interleave arbitrarily.  The pipeline makes
+that interleaving irrelevant:
+
+* every feed drains through a **bounded queue** with an explicit
+  overflow policy — ``block`` (the producer is stalled while the
+  pipeline drains, the lossless default), ``drop`` (the offered update
+  is discarded and its sequence number recorded as skipped) or
+  ``park`` (the update overflows into an unbounded side buffer that
+  drains with the next pump) — every event counted in telemetry;
+* messages are merged back into **sequence order** before they reach
+  the detector, so the alarm stream is bit-identical to the serial
+  single-feed oracle run over the same (surviving) updates, for every
+  feed count, batch size and interleaving;
+* the detector is invoked through
+  :meth:`~repro.detection.pipeline.table.PipelineDetector.consume_batch`
+  in batches of up to ``batch`` messages, amortising table lookups and
+  dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.bgp.collectors import MonitorView
+from repro.bgp.updates import SequencedUpdate
+from repro.detection.alarms import Alarm
+from repro.detection.pipeline.table import PipelineDetector
+from repro.exceptions import DetectionError
+from repro.telemetry.metrics import RunMetrics
+
+__all__ = ["BACKPRESSURE_POLICIES", "FeedQueue", "StreamingPipeline", "split_stream"]
+
+BACKPRESSURE_POLICIES = ("block", "drop", "park")
+
+
+class FeedQueue:
+    """One monitor feed's bounded inbox (plus its parking overflow)."""
+
+    __slots__ = ("feed_id", "capacity", "items", "parked")
+
+    def __init__(self, feed_id: int, capacity: int) -> None:
+        self.feed_id = feed_id
+        self.capacity = capacity
+        self.items: deque[SequencedUpdate] = deque()
+        self.parked: deque[SequencedUpdate] = deque()
+
+    @property
+    def depth(self) -> int:
+        return len(self.items)
+
+
+class StreamingPipeline:
+    """N bounded feed queues in front of one :class:`PipelineDetector`.
+
+    Contract: the sequence numbers offered across all feeds are a
+    (subset of a) dense range starting at ``first_seq``, each feed's
+    slice arriving in increasing order.  ``offer`` enqueues one update;
+    the pipeline pumps itself whenever a full batch is ready, and
+    :meth:`flush` processes everything still buffered at end of stream
+    (sequence gaps — dropped or never-offered updates — are skipped in
+    order).  Alarms are returned from the call that processed them and
+    also accumulated on :attr:`alarms`.
+    """
+
+    def __init__(
+        self,
+        detector: PipelineDetector,
+        *,
+        feeds: int,
+        batch: int = 64,
+        capacity: int = 256,
+        policy: str = "block",
+        first_seq: int = 0,
+        metrics: RunMetrics | None = None,
+    ) -> None:
+        if feeds < 1:
+            raise DetectionError("a pipeline needs at least one feed")
+        if batch < 1:
+            raise DetectionError("batch size must be >= 1")
+        if capacity < 1:
+            raise DetectionError("queue capacity must be >= 1")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise DetectionError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        self.detector = detector
+        self.batch = batch
+        self.policy = policy
+        self.metrics = metrics
+        self.queues = [FeedQueue(i, capacity) for i in range(feeds)]
+        self.alarms: list[Alarm] = []
+        #: reorder buffer: seq -> message, waiting for its turn
+        self._pending: dict[int, SequencedUpdate] = {}
+        #: every seq currently buffered anywhere (queues, parked, or the
+        #: reorder buffer) — the duplicate-delivery guard
+        self._buffered: set[int] = set()
+        self._next_seq = first_seq
+        self._enqueued = 0
+        #: sequence numbers known lost (drop policy) — skipped in order
+        self._skipped: set[int] = set()
+        # backpressure accounting (mirrored into metrics when attached)
+        self.dropped = 0
+        self.parked = 0
+        self.blocked = 0
+        self.processed = 0
+        self.dropped_seqs: list[int] = []
+
+    # -- producing ------------------------------------------------------
+    def prime(self, view: MonitorView) -> None:
+        self.detector.prime(view)
+
+    def offer(self, feed_id: int, item: SequencedUpdate) -> list[Alarm]:
+        """Enqueue one update from ``feed_id``; returns alarms raised if
+        the offer triggered a pump (full batch ready, or a blocking
+        drain on overflow)."""
+        queue = self.queues[feed_id]
+        if (
+            item.seq < self._next_seq
+            or item.seq in self._buffered
+            or item.seq in self._skipped
+        ):
+            raise DetectionError(
+                f"feed {feed_id} delivered sequence {item.seq} twice "
+                f"(next expected {self._next_seq})"
+            )
+        raised: list[Alarm] = []
+        metrics = self.metrics
+        track = metrics is not None and metrics.enabled
+        if len(queue.items) >= queue.capacity:
+            if self.policy == "drop":
+                self.dropped += 1
+                self.dropped_seqs.append(item.seq)
+                self._skipped.add(item.seq)
+                if track:
+                    metrics.count("detection.pipeline.dropped")
+                return raised
+            if self.policy == "park":
+                self.parked += 1
+                queue.parked.append(item)
+                self._buffered.add(item.seq)
+                if track:
+                    metrics.count("detection.pipeline.parked")
+                return raised
+            # block: the producer stalls while the pipeline drains.
+            self.blocked += 1
+            if track:
+                metrics.count("detection.pipeline.blocked")
+            raised.extend(self.pump())
+        queue.items.append(item)
+        self._buffered.add(item.seq)
+        self._enqueued += 1
+        if track:
+            metrics.observe("detection.pipeline.queue_depth", len(queue.items))
+        if self._enqueued >= self.batch:
+            raised.extend(self.pump())
+        return raised
+
+    # -- draining -------------------------------------------------------
+    def _collect(self) -> None:
+        """Move everything queued (parked overflow included) into the
+        reorder buffer."""
+        pending = self._pending
+        for queue in self.queues:
+            items = queue.items
+            while items:
+                update = items.popleft()
+                pending[update.seq] = update
+            parked = queue.parked
+            while parked:
+                update = parked.popleft()
+                pending[update.seq] = update
+        self._enqueued = 0
+
+    def _ready_run(self) -> list[SequencedUpdate]:
+        """The maximal run of consecutive sequence numbers available at
+        the merge point (known-skipped numbers are passed over)."""
+        pending = self._pending
+        skipped = self._skipped
+        buffered = self._buffered
+        run: list[SequencedUpdate] = []
+        seq = self._next_seq
+        while True:
+            if seq in skipped:
+                skipped.remove(seq)
+                seq += 1
+                continue
+            update = pending.pop(seq, None)
+            if update is None:
+                break
+            buffered.discard(seq)
+            run.append(update)
+            seq += 1
+        self._next_seq = seq
+        return run
+
+    def _process(self, run: Sequence[SequencedUpdate]) -> list[Alarm]:
+        raised: list[Alarm] = []
+        batch = self.batch
+        consume_batch = self.detector.consume_batch
+        for start in range(0, len(run), batch):
+            chunk = [update.message for update in run[start : start + batch]]
+            raised.extend(consume_batch(chunk))
+        self.processed += len(run)
+        self.alarms.extend(raised)
+        return raised
+
+    def pump(self) -> list[Alarm]:
+        """Drain the queues through the merge point and the detector."""
+        self._collect()
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.observe("detection.pipeline.reorder_depth", len(self._pending))
+        return self._process(self._ready_run())
+
+    def flush(self) -> list[Alarm]:
+        """End of stream: process everything still buffered, skipping
+        sequence gaps (lost updates) in order."""
+        self._collect()
+        raised = self._process(self._ready_run())
+        if self._pending:
+            # Whatever remains is stranded behind gaps nobody will fill:
+            # process it in sequence order.
+            leftovers = [self._pending[seq] for seq in sorted(self._pending)]
+            self._buffered.difference_update(self._pending)
+            self._pending.clear()
+            self._skipped.clear()
+            raised.extend(self._process(leftovers))
+            self._next_seq = leftovers[-1].seq + 1
+        return raised
+
+    # -- convenience driver ---------------------------------------------
+    def run(
+        self,
+        streams: Sequence[Sequence[SequencedUpdate]],
+        *,
+        rng: random.Random | None = None,
+    ) -> list[Alarm]:
+        """Feed per-feed streams to completion and flush.
+
+        Interleaving is round-robin by default; passing ``rng`` draws
+        the next feed at random (deterministically for a seeded rng) —
+        the equivalence suites use this to prove interleaving
+        independence.
+        """
+        if len(streams) != len(self.queues):
+            raise DetectionError(
+                f"{len(streams)} streams offered to a {len(self.queues)}-feed pipeline"
+            )
+        raised: list[Alarm] = []
+        positions = [0] * len(streams)
+        remaining = [i for i, stream in enumerate(streams) if stream]
+        while remaining:
+            if rng is None:
+                feed_id = remaining[0]
+            else:
+                feed_id = remaining[rng.randrange(len(remaining))]
+            stream = streams[feed_id]
+            raised.extend(self.offer(feed_id, stream[positions[feed_id]]))
+            positions[feed_id] += 1
+            if positions[feed_id] >= len(stream):
+                remaining.remove(feed_id)
+        raised.extend(self.flush())
+        return raised
+
+
+def split_stream(
+    messages: Iterable[SequencedUpdate],
+    feeds: int,
+    *,
+    rng: random.Random | None = None,
+) -> list[list[SequencedUpdate]]:
+    """Partition a sequenced stream across ``feeds`` feeds.
+
+    Each feed receives its slice in sequence order (feeds deliver
+    in-order; only the *interleaving across* feeds is arbitrary).
+    Assignment is round-robin, or random per message when ``rng`` is
+    given.
+    """
+    if feeds < 1:
+        raise DetectionError("split_stream needs at least one feed")
+    streams: list[list[SequencedUpdate]] = [[] for _ in range(feeds)]
+    for position, update in enumerate(messages):
+        feed_id = position % feeds if rng is None else rng.randrange(feeds)
+        streams[feed_id].append(update)
+    return streams

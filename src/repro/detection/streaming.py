@@ -20,6 +20,8 @@ of individual update messages:
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from repro.attack.interception import InterceptionResult
 from repro.bgp.collectors import MonitorView, RouteCollector
 from repro.bgp.route import Route
@@ -54,6 +56,13 @@ class StreamingDetector:
     ``metrics`` optionally attaches a telemetry registry recording
     updates consumed, alarms raised and the number of updates until the
     first alarm (``detection.*`` namespace).
+
+    ``copy_views`` controls what :meth:`consume` hands to
+    ``inspect_change``: the default (``False``) passes a read-only
+    *live* view over the internal table — the inspection protocol is
+    read-only, so no copy is needed — while ``True`` restores the
+    historical per-update ``dict(...)`` snapshot (kept only so the
+    equivalence suite can prove both paths raise identical alarms).
     """
 
     def __init__(
@@ -61,8 +70,10 @@ class StreamingDetector:
         detector: ASPPInterceptionDetector,
         *,
         metrics: RunMetrics | None = None,
+        copy_views: bool = False,
     ) -> None:
         self._detector = detector
+        self._copy_views = copy_views
         #: prefix -> monitor -> current route
         self._tables: dict[str, dict[int, Route | None]] = {}
         #: prefix -> monitor -> neighbour -> last class observed for
@@ -85,12 +96,21 @@ class StreamingDetector:
         """The detector's present belief about ``prefix``."""
         return MonitorView(prefix=prefix, routes=dict(self._tables.get(prefix, {})))
 
+    def live_view(self, prefix: str) -> MonitorView:
+        """Like :meth:`current_view` but zero-copy: the routes mapping
+        is a read-only proxy over the internal table, so it tracks
+        subsequent updates instead of freezing this instant."""
+        return MonitorView(
+            prefix=prefix,
+            routes=MappingProxyType(self._tables.setdefault(prefix, {})),
+        )
+
     def consume(self, message: UpdateMessage) -> list[Alarm]:
         """Apply one update and return any alarms it triggers."""
+        self._updates_seen += 1
         metrics = self.metrics
         track = metrics is not None and metrics.enabled
         if track:
-            self._updates_seen += 1
             metrics.count("detection.updates_consumed")
         table = self._tables.setdefault(message.prefix, {})
         previous = table.get(message.monitor)
@@ -114,7 +134,11 @@ class StreamingDetector:
         if new_route == previous:
             return []
         table[message.monitor] = new_route
-        view = self.current_view(message.prefix)
+        view = (
+            self.current_view(message.prefix)
+            if self._copy_views
+            else self.live_view(message.prefix)
+        )
         alarms = self._detector.inspect_change(
             message.monitor, previous, new_route, view
         )

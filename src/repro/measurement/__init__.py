@@ -8,12 +8,20 @@
   downloading RouteViews/RIPE table snapshots);
 * :mod:`repro.measurement.characterize` — the Figure 5/6 statistics:
   per-monitor fraction of prepended best routes, padding-count
-  distribution.
+  distribution;
+* :mod:`repro.measurement.churn` — RouteViews-scale churn synthesis
+  (sequenced attack + background-flap update streams) feeding the
+  streaming pipeline's sustained-throughput benchmarks.
 """
 
 from repro.measurement.characterize import (
     padding_count_distribution,
     prepended_fraction_per_monitor,
+)
+from repro.measurement.churn import (
+    ChurnConfig,
+    SynthesizedStream,
+    synthesize_churn_stream,
 )
 from repro.measurement.padding_model import PaddingBehaviorModel
 from repro.measurement.ribs import MonitorRIBs, build_monitor_ribs
@@ -24,4 +32,7 @@ __all__ = [
     "build_monitor_ribs",
     "prepended_fraction_per_monitor",
     "padding_count_distribution",
+    "ChurnConfig",
+    "SynthesizedStream",
+    "synthesize_churn_stream",
 ]

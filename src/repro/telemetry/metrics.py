@@ -147,6 +147,29 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """An upper-bound estimate of the ``q``-quantile (``0 <= q <= 1``).
+
+        Walks the power-of-two buckets to the one holding the ``q``-th
+        observation and returns that bucket's inclusive upper edge
+        (``2**b - 1``), clamped into ``[min, max]`` so the estimate
+        never leaves the observed range.  Exact to within one bucket —
+        good enough for the p50/p99 latency gates the benchmarks
+        report.  Returns ``0.0`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count or self.min is None or self.max is None:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= rank:
+                upper = float((1 << bucket) - 1) if bucket else 0.0
+                return min(max(upper, self.min), self.max)
+        return self.max
+
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total

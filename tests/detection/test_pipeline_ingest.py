@@ -1,0 +1,230 @@
+"""Batched multi-feed ingestion: interleaving independence and
+backpressure accounting.
+
+The headline property: for **every** feed count, batch size, queue
+capacity, backpressure policy and (deterministic) interleaving, the
+pipeline's alarm list equals the serial single-feed oracle run over the
+same surviving updates — lossless policies over the whole stream, the
+``drop`` policy over exactly the survivors it reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.updates import SequencedUpdate, UpdateMessage
+from repro.detection.detector import ASPPInterceptionDetector
+from repro.detection.pipeline import (
+    BACKPRESSURE_POLICIES,
+    PipelineDetector,
+    StreamingPipeline,
+    split_stream,
+)
+from repro.detection.streaming import StreamingDetector
+from repro.exceptions import DetectionError
+from repro.measurement.churn import ChurnConfig, synthesize_churn_stream
+from repro.telemetry.metrics import RunMetrics
+
+
+@pytest.fixture(scope="module")
+def churn():
+    """One shared small churn stream with real alarms in it."""
+    return synthesize_churn_stream(
+        ChurnConfig(
+            seed=5,
+            scale=0.2,
+            monitors=15,
+            prefixes=2,
+            scenarios=2,
+            updates=300,
+            backup_padding=4,
+        )
+    )
+
+
+def _oracle_alarms(stream, messages):
+    oracle = StreamingDetector(
+        ASPPInterceptionDetector(stream.world.graph), copy_views=True
+    )
+    for view in stream.baselines.values():
+        oracle.prime(view)
+    return oracle.consume_all(messages)
+
+
+def _pipeline(stream, **kwargs):
+    detector = PipelineDetector(
+        ASPPInterceptionDetector(stream.world.graph), stream.world.graph
+    )
+    pipeline = StreamingPipeline(detector, **kwargs)
+    for view in stream.baselines.values():
+        pipeline.prime(view)
+    return pipeline
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    feeds=st.integers(1, 6),
+    batch=st.integers(1, 80),
+    capacity=st.integers(1, 64),
+    policy=st.sampled_from(("block", "park")),
+    interleave=st.one_of(st.none(), st.integers(0, 10**6)),
+    split_seed=st.one_of(st.none(), st.integers(0, 10**6)),
+)
+def test_lossless_policies_match_serial_oracle(
+    churn, feeds, batch, capacity, policy, interleave, split_seed
+):
+    expected = _oracle_alarms(churn, churn.plain_messages())
+    pipeline = _pipeline(
+        churn, feeds=feeds, batch=batch, capacity=capacity, policy=policy
+    )
+    streams = split_stream(
+        churn.messages,
+        feeds,
+        rng=None if split_seed is None else random.Random(split_seed),
+    )
+    rng = None if interleave is None else random.Random(interleave)
+    raised = pipeline.run(streams, rng=rng)
+    assert raised == expected
+    assert pipeline.alarms == expected
+    assert pipeline.processed == len(churn.messages)
+    assert pipeline.dropped == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    feeds=st.integers(1, 5),
+    batch=st.integers(8, 64),
+    capacity=st.integers(1, 8),
+    interleave=st.integers(0, 10**6),
+)
+def test_drop_policy_matches_survivor_oracle(churn, feeds, batch, capacity, interleave):
+    pipeline = _pipeline(
+        churn, feeds=feeds, batch=batch, capacity=capacity, policy="drop"
+    )
+    streams = split_stream(churn.messages, feeds)
+    raised = pipeline.run(streams, rng=random.Random(interleave))
+    dropped = set(pipeline.dropped_seqs)
+    assert len(dropped) == pipeline.dropped
+    survivors = [m.message for m in churn.messages if m.seq not in dropped]
+    assert raised == _oracle_alarms(churn, survivors)
+    assert pipeline.processed == len(survivors)
+    assert pipeline.processed + pipeline.dropped == len(churn.messages)
+
+
+def test_single_feed_batch_one_is_the_serial_path(churn):
+    expected = _oracle_alarms(churn, churn.plain_messages())
+    pipeline = _pipeline(churn, feeds=1, batch=1, capacity=1)
+    raised = pipeline.run(split_stream(churn.messages, 1))
+    assert raised == expected
+
+
+def test_duplicate_sequence_raises(churn):
+    pipeline = _pipeline(churn, feeds=2, batch=4)
+    first, second = churn.messages[0], churn.messages[1]
+    pipeline.offer(0, first)
+    with pytest.raises(DetectionError):
+        pipeline.offer(1, SequencedUpdate(seq=first.seq, message=second.message))
+
+
+def test_stale_sequence_raises_after_processing(churn):
+    pipeline = _pipeline(churn, feeds=1, batch=1)
+    pipeline.offer(0, churn.messages[0])  # batch=1 processes immediately
+    with pytest.raises(DetectionError):
+        pipeline.offer(0, churn.messages[0])
+
+
+def test_redelivered_dropped_sequence_raises(churn):
+    pipeline = _pipeline(churn, feeds=1, batch=64, capacity=1, policy="drop")
+    pipeline.offer(0, churn.messages[0])
+    pipeline.offer(0, churn.messages[1])  # overflows, dropped
+    assert pipeline.dropped_seqs == [churn.messages[1].seq]
+    with pytest.raises(DetectionError):
+        pipeline.offer(0, churn.messages[1])
+
+
+def test_backpressure_counters_and_telemetry(churn):
+    metrics = RunMetrics()
+    detector = PipelineDetector(
+        ASPPInterceptionDetector(churn.world.graph),
+        churn.world.graph,
+        metrics=metrics,
+    )
+    pipeline = StreamingPipeline(
+        detector, feeds=2, batch=1000, capacity=3, policy="park", metrics=metrics
+    )
+    for view in churn.baselines.values():
+        pipeline.prime(view)
+    pipeline.run(split_stream(churn.messages, 2))
+    assert pipeline.parked > 0
+    assert pipeline.dropped == 0
+    assert metrics.counter_value("detection.pipeline.parked") == pipeline.parked
+    assert metrics.histograms["detection.pipeline.queue_depth"].count > 0
+    assert pipeline.processed == len(churn.messages)
+
+    blocking = _pipeline(churn, feeds=2, batch=1000, capacity=3, policy="block")
+    blocking.run(split_stream(churn.messages, 2))
+    assert blocking.blocked > 0
+    assert blocking.processed == len(churn.messages)
+
+
+def test_flush_processes_gap_stranded_messages(churn):
+    """Sequences stranded behind a gap nobody will fill are still
+    processed (in order) at flush."""
+    pipeline = _pipeline(churn, feeds=1, batch=10**6, capacity=10**6)
+    messages = churn.messages
+    with_gap = [m for m in messages[:20] if m.seq != 5]
+    for update in with_gap:
+        pipeline.offer(0, update)
+    pipeline.flush()
+    assert pipeline.processed == len(with_gap)
+    survivors = [m.message for m in with_gap]
+    assert pipeline.alarms == _oracle_alarms(churn, survivors)
+
+
+def test_constructor_validation(churn):
+    detector = PipelineDetector(
+        ASPPInterceptionDetector(churn.world.graph), churn.world.graph
+    )
+    for kwargs in (
+        {"feeds": 0},
+        {"feeds": 1, "batch": 0},
+        {"feeds": 1, "capacity": 0},
+        {"feeds": 1, "policy": "spill"},
+    ):
+        with pytest.raises(DetectionError):
+            StreamingPipeline(detector, **kwargs)
+    with pytest.raises(DetectionError):
+        StreamingPipeline(detector, feeds=2).run([[]])
+    with pytest.raises(DetectionError):
+        split_stream([], 0)
+    assert BACKPRESSURE_POLICIES == ("block", "drop", "park")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    count=st.integers(0, 50),
+    feeds=st.integers(1, 6),
+    seed=st.one_of(st.none(), st.integers(0, 10**6)),
+)
+def test_split_stream_partitions_in_order(count, feeds, seed):
+    messages = [
+        SequencedUpdate(
+            seq=i,
+            message=UpdateMessage(monitor=i, prefix="203.0.113.0/24", path=(i, 1)),
+        )
+        for i in range(count)
+    ]
+    rng = None if seed is None else random.Random(seed)
+    streams = split_stream(messages, feeds, rng=rng)
+    assert len(streams) == feeds
+    recombined = sorted(
+        (update for stream in streams for update in stream), key=lambda u: u.seq
+    )
+    assert recombined == messages
+    for stream in streams:
+        seqs = [update.seq for update in stream]
+        assert seqs == sorted(seqs)

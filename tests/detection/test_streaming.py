@@ -187,3 +187,51 @@ class TestNeighbourClassMemory:
                 streaming._classes[prefix][monitor][route.learned_from]
                 is route.pref
             )
+
+
+class TestLiveViews:
+    def test_live_and_copy_paths_raise_identical_alarms(self, attacked):
+        graph, result, collector = attacked
+        messages = attack_update_stream(result, collector)
+        baseline = collector.snapshot(result.baseline)
+        runs = []
+        for copy_views in (False, True):
+            streaming = StreamingDetector(
+                ASPPInterceptionDetector(graph), copy_views=copy_views
+            )
+            streaming.prime(baseline)
+            runs.append(streaming.consume_all(messages))
+        assert runs[0] == runs[1]
+        assert runs[0], "the figure-3 attack must raise alarms"
+
+    def test_live_view_tracks_subsequent_updates(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        baseline = collector.snapshot(result.baseline)
+        streaming.prime(baseline)
+        live = streaming.live_view(baseline.prefix)
+        frozen = streaming.current_view(baseline.prefix)
+        for message in attack_update_stream(result, collector):
+            streaming.consume(message)
+        assert dict(live.routes) == dict(
+            streaming.current_view(baseline.prefix).routes
+        )
+        assert dict(frozen.routes) == dict(baseline.routes)
+
+    def test_live_view_is_read_only(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        baseline = collector.snapshot(result.baseline)
+        streaming.prime(baseline)
+        live = streaming.live_view(baseline.prefix)
+        with pytest.raises(TypeError):
+            live.routes[2] = None
+
+    def test_updates_seen_increments_without_metrics(self, attacked):
+        graph, result, collector = attacked
+        streaming = StreamingDetector(ASPPInterceptionDetector(graph))
+        streaming.prime(collector.snapshot(result.baseline))
+        messages = attack_update_stream(result, collector)
+        for message in messages:
+            streaming.consume(message)
+        assert streaming._updates_seen == len(messages)

@@ -1,0 +1,90 @@
+"""The RouteViews-scale churn synthesizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.measurement.churn import ChurnConfig, synthesize_churn_stream
+
+SMALL = dict(seed=5, scale=0.2, monitors=15, prefixes=2, scenarios=2, updates=300)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthesize_churn_stream(ChurnConfig(**SMALL))
+
+
+def test_deterministic(stream):
+    again = synthesize_churn_stream(ChurnConfig(**SMALL))
+    assert again.messages == stream.messages
+    assert again.victim == stream.victim
+    assert again.attacker == stream.attacker
+
+
+def test_sequence_stamps_are_dense(stream):
+    assert [update.seq for update in stream.messages] == list(range(stream.updates))
+
+
+def test_reaches_target_length(stream):
+    assert stream.updates >= SMALL["updates"]
+
+
+def test_baselines_cover_every_streamed_prefix(stream):
+    streamed = {update.message.prefix for update in stream.messages}
+    assert streamed <= set(stream.baselines)
+    for prefix, view in stream.baselines.items():
+        assert view.prefix == prefix
+        assert set(view.routes) == set(stream.collector.monitors)
+
+
+def test_attack_burst_present_and_contiguous(stream):
+    victim_prefix = stream.attack_result.baseline.prefix
+    positions = [
+        i
+        for i, update in enumerate(stream.messages)
+        if update.message.prefix == victim_prefix
+    ]
+    assert positions, "the interception burst must reach the monitors"
+    assert positions == list(range(positions[0], positions[-1] + 1))
+    # Spliced mid-stream, not appended: churn continues after the burst.
+    assert positions[-1] < stream.updates - 1
+
+
+def test_no_attack_mode(monkeypatch):
+    config = ChurnConfig(**{**SMALL, "attack": False})
+    stream = synthesize_churn_stream(config)
+    assert stream.victim is None
+    assert stream.attacker is None
+    assert stream.attack_result is None
+    prefixes = {update.message.prefix for update in stream.messages}
+    assert all(prefix.startswith("10.") for prefix in prefixes)
+
+
+def test_backup_padding_changes_the_mix():
+    plain = synthesize_churn_stream(ChurnConfig(**SMALL))
+    padded = synthesize_churn_stream(
+        ChurnConfig(**{**SMALL, "backup_padding": 4})
+    )
+    assert plain.messages != padded.messages
+
+
+def test_plain_messages_strip_stamps(stream):
+    plain = stream.plain_messages()
+    assert len(plain) == stream.updates
+    assert plain == [update.message for update in stream.messages]
+
+
+def test_world_reuse():
+    first = synthesize_churn_stream(ChurnConfig(**SMALL))
+    reused = synthesize_churn_stream(ChurnConfig(**SMALL), world=first.world)
+    assert reused.messages == first.messages
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [{"updates": -1}, {"prefixes": 0}],
+)
+def test_validation(overrides):
+    with pytest.raises(SimulationError):
+        synthesize_churn_stream(ChurnConfig(**{**SMALL, **overrides}))

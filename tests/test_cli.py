@@ -315,3 +315,47 @@ class TestSecpolSweepCommand:
             main(["secpol-sweep", "--fractions", "0.5,huge"])
         with pytest.raises(SystemExit):
             main(["secpol-sweep", "--fractions", ","])
+
+
+class TestDetectStream:
+    ARGS = [
+        "detect-stream",
+        "--scale", "0.2",
+        "--monitors", "15",
+        "--updates", "600",
+        "--prefixes", "2",
+        "--seed", "5",
+    ]
+
+    def test_summary_reports_throughput_and_detection(self, capsys):
+        assert main(self.ARGS + ["--feeds", "3", "--batch", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "updates/sec" in out
+        assert "latency p50" in out
+        assert "latency p99" in out
+        assert "backpressure:" in out
+        assert "attack:" in out
+
+    def test_no_attack_omits_verdict(self, capsys):
+        assert main(self.ARGS + ["--no-attack"]) == 0
+        out = capsys.readouterr().out
+        assert "attack:" not in out
+        assert "updates/sec" in out
+
+    def test_backpressure_policies_accepted(self, capsys):
+        for policy in ("block", "drop", "park"):
+            assert main(
+                self.ARGS
+                + ["--backpressure", policy, "--capacity", "8", "--feeds", "2"]
+            ) == 0
+            assert "backpressure:" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--backpressure", "spill"])
+
+    def test_metrics_summary_includes_pipeline_counters(self, capsys):
+        assert main(self.ARGS + ["--metrics", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "detection.pipeline.updates" in out
+        assert "detection.pipeline.batches" in out

@@ -1,0 +1,54 @@
+"""Stale-artifact hygiene: bytecode caches stay out of git and sdists.
+
+A ``__pycache__`` directory that sneaks into version control (or a
+distribution) ships stale bytecode that can shadow edited sources.
+These guards fail fast in CI instead of letting a stray ``git add -A``
+land one.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _git_files() -> list[str]:
+    try:
+        output = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git unavailable")
+    return output.splitlines()
+
+
+def test_no_bytecode_tracked_in_git():
+    offenders = [
+        path
+        for path in _git_files()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == [], f"bytecode artefacts tracked in git: {offenders}"
+
+
+def test_gitignore_covers_bytecode():
+    ignored = (REPO / ".gitignore").read_text()
+    assert "__pycache__/" in ignored
+    assert "*.py[cod]" in ignored
+
+
+def test_pyproject_excludes_bytecode_from_distributions():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert "[tool.setuptools.exclude-package-data]" in pyproject
+    assert "__pycache__" in pyproject.split(
+        "[tool.setuptools.exclude-package-data]"
+    )[1]
