@@ -106,9 +106,28 @@ def paper_hijack_estimate(
         heapq.heappush(heap, (len(path), victim, provider, path))
     while heap:
         length, sender, node, path = heapq.heappop(heap)
+        # A queued candidate may predate a re-settlement at its sender
+        # (same (length, sender) key, different path — e.g. the sender
+        # tie-broke onto the attacker's stripped route after this push).
+        # Figure 2 updates paths "accordingly" downstream, so re-derive
+        # from the sender's current settlement; a candidate whose
+        # length no longer matches was superseded by the re-pushes the
+        # re-settlement itself issued.
+        fresh = uphill.get(sender)
+        if fresh is not None and sender != victim:
+            repaired = (sender,) + fresh[2]
+            if sender == attacker:
+                repaired = _strip_at(repaired, attacker, victim)
+            if len(repaired) != length:
+                continue
+            path = repaired
         settled = uphill.get(node)
-        if settled is not None and (settled[0], settled[1]) <= (length, sender):
-            continue
+        if settled is not None:
+            settled_key = (settled[0], settled[1])
+            if settled_key < (length, sender) or (
+                settled_key == (length, sender) and settled[2] == path
+            ):
+                continue
         uphill[node] = (length, sender, path)
         for provider in sorted(graph.providers_of(node)):
             new_path = (node,) + path
@@ -165,9 +184,24 @@ def paper_hijack_estimate(
         length, sender, node, path = heapq.heappop(heap)
         if node in best_class:
             continue
+        # Same staleness repair as the uphill loop: senders settled in
+        # phases 1-2 (absent from ``downhill``) are final, but a
+        # downhill sender may have re-settled since this push.
+        fresh = downhill.get(sender)
+        if fresh is not None and sender != victim:
+            repaired = (sender,) + fresh[2]
+            if sender == attacker:
+                repaired = _strip_at(repaired, attacker, victim)
+            if len(repaired) != length:
+                continue
+            path = repaired
         settled = downhill.get(node)
-        if settled is not None and (settled[0], settled[1]) <= (length, sender):
-            continue
+        if settled is not None:
+            settled_key = (settled[0], settled[1])
+            if settled_key < (length, sender) or (
+                settled_key == (length, sender) and settled[2] == path
+            ):
+                continue
         downhill[node] = (length, sender, path)
         for customer in sorted(graph.customers_of(node)):
             if customer in best_class:

@@ -24,6 +24,13 @@ JSONL event log — to stdout, or to ``--metrics-out PATH`` (which
 requires ``--metrics jsonl``).  Metrics never change the results: the
 artefact text is bit-identical with metrics on or off.
 
+``detect-stream`` replays a synthesized churn stream through the
+streaming detection pipeline and reports sustained throughput;
+``mitigate-stream`` runs the full closed loop on top of it — detect,
+re-announce per ``--strategy``, delta re-converge — optionally under a
+seeded feed-fault plan (``--fault-rate``), and prints the recovery
+clocks, the SLO summary table and any structured breach events.
+
 ``campaign``, ``grid`` and ``secpol-sweep`` accept ``--engine-mode
 {full,delta}`` (default ``full``): ``delta`` re-converges each attack
 incrementally from the cached baseline instead of re-flooding the
@@ -425,6 +432,91 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_metrics_flags(stream_parser)
 
+    mitigate_parser = subparsers.add_parser(
+        "mitigate-stream",
+        help="run the closed detect → mitigate → re-converge loop over a "
+        "synthesized churn stream, optionally under injected feed faults",
+    )
+    mitigate_parser.add_argument("--seed", type=int, default=7)
+    mitigate_parser.add_argument("--scale", type=float, default=0.5)
+    mitigate_parser.add_argument(
+        "--monitors", type=int, default=100,
+        help="top-degree monitor feeds the collector aggregates",
+    )
+    mitigate_parser.add_argument(
+        "--updates", type=int, default=8000,
+        help="target churn-stream length (attack burst included)",
+    )
+    mitigate_parser.add_argument(
+        "--prefixes", type=int, default=4,
+        help="background prefixes flapping alongside the victim's",
+    )
+    mitigate_parser.add_argument("--padding", type=int, default=3,
+        help="the attack victim's origin padding λ")
+    mitigate_parser.add_argument(
+        "--strategy", choices=("none", "stepdown", "reset"), default="stepdown",
+        help="victim countermeasure once the attack is detected: 'stepdown' "
+        "lowers λ gradually, 'reset' jumps to the floor, 'none' is the "
+        "no-reaction control arm",
+    )
+    mitigate_parser.add_argument(
+        "--step", type=int, default=1,
+        help="λ decrement per stepdown reaction",
+    )
+    mitigate_parser.add_argument(
+        "--floor", type=int, default=1,
+        help="the λ the victim will not go below (1 = no prepending left)",
+    )
+    mitigate_parser.add_argument(
+        "--reaction", type=int, default=64, metavar="UPDATES",
+        help="modelled operator/automation latency between first alarm "
+        "and re-announce (time-to-mitigate)",
+    )
+    mitigate_parser.add_argument(
+        "--feeds", type=int, default=4,
+        help="collector feeds the stream is split across",
+    )
+    mitigate_parser.add_argument(
+        "--batch", type=int, default=64,
+        help="updates handed to the detector per consume_batch call",
+    )
+    mitigate_parser.add_argument(
+        "--backpressure", choices=("block", "drop", "park"), default="block",
+        help="bounded-queue overflow policy",
+    )
+    mitigate_parser.add_argument(
+        "--capacity", type=int, default=256,
+        help="per-feed queue capacity",
+    )
+    mitigate_parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="RATE",
+        help="inject a seeded feed-fault plan: each feed draws faults "
+        "(outages, duplicate bursts, corruption, gap storms) with this "
+        "probability (0 = fault-free)",
+    )
+    mitigate_parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault plan (default: --seed)",
+    )
+    mitigate_parser.add_argument(
+        "--unrecoverable", action="store_true",
+        help="make injected faults unrecoverable: outage updates are lost "
+        "instead of replayed on reconnect (graceful-degradation mode)",
+    )
+    mitigate_parser.add_argument(
+        "--slo-alarm-latency", type=float, default=2000.0, metavar="UPDATES",
+        help="alarm-latency SLO threshold (p99, post-merge updates)",
+    )
+    mitigate_parser.add_argument(
+        "--slo-feed-staleness", type=float, default=512.0, metavar="UPDATES",
+        help="feed-staleness SLO threshold (p99 replay-buffer depth)",
+    )
+    mitigate_parser.add_argument(
+        "--slo-recovery-rounds", type=float, default=12.0, metavar="ROUNDS",
+        help="recovery-deadline SLO threshold (max delta rounds)",
+    )
+    _add_metrics_flags(mitigate_parser)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for experiment_id in REGISTRY:
@@ -440,6 +532,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _secpol_sweep(args, parser, _make_metrics(args, parser))
     if args.command == "detect-stream":
         return _detect_stream(args, parser, _make_metrics(args, parser))
+    if args.command == "mitigate-stream":
+        return _mitigate_stream(args, parser, _make_metrics(args, parser))
     overrides = {
         name: getattr(args, name, None)
         for name in ("seed", "scale", "pairs", "instances", "workers")
@@ -663,6 +757,102 @@ def _detect_stream(args, parser, metrics: RunMetrics | None = None) -> int:
             f"  attack:              AS{stream.attacker} intercepting "
             f"AS{stream.victim} ({victim_prefix}) — {verdict}"
         )
+    _emit_metrics(args, metrics)
+    return 0
+
+
+def _mitigate_stream(args, parser, metrics: RunMetrics | None = None) -> int:
+    import json
+
+    from repro.detection.pipeline.faults import FeedFaultPlan
+    from repro.measurement.churn import ChurnConfig, synthesize_churn_stream
+    from repro.mitigation.controller import MitigationPolicy, run_closed_loop
+    from repro.telemetry.slo import SLORegistry, default_pipeline_slos
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
+    config = ChurnConfig(
+        seed=args.seed,
+        scale=args.scale,
+        monitors=args.monitors,
+        prefixes=args.prefixes,
+        updates=args.updates,
+        attack=True,
+        padding=args.padding,
+    )
+    stream = synthesize_churn_stream(config)
+    plan = None
+    if args.fault_rate > 0.0:
+        plan = FeedFaultPlan.seeded(
+            args.feeds,
+            seed=args.fault_seed if args.fault_seed is not None else args.seed,
+            rate=args.fault_rate,
+            recoverable=not args.unrecoverable,
+        )
+    slos = SLORegistry(
+        default_pipeline_slos(
+            alarm_latency_updates=args.slo_alarm_latency,
+            feed_staleness_updates=args.slo_feed_staleness,
+            recovery_rounds=args.slo_recovery_rounds,
+        ),
+        metrics=metrics,
+    )
+    policy = MitigationPolicy(
+        strategy=args.strategy,
+        step=args.step,
+        floor=args.floor,
+        reaction_updates=args.reaction,
+    )
+    report = run_closed_loop(
+        stream,
+        policy=policy,
+        feeds=args.feeds,
+        backpressure=args.backpressure,
+        batch=args.batch,
+        capacity=args.capacity,
+        fault_plan=plan,
+        metrics=metrics,
+        slos=slos,
+    )
+    step = report.step
+    print(
+        f"mitigate-stream: AS{step.attacker} intercepting AS{step.victim} "
+        f"({step.prefix}), λ={step.padding_before}, strategy={step.strategy}, "
+        f"{args.feeds} feeds"
+        + (f", fault-rate={args.fault_rate}" if plan is not None else "")
+    )
+    if step.detected:
+        print(
+            f"  detected:            yes "
+            f"(first alarm {step.time_to_detect} updates after attack start)"
+        )
+    else:
+        print("  detected:            NO — the loop never reacted")
+    print(f"  time_to_mitigate:    {step.time_to_mitigate} updates (modelled)")
+    print(
+        f"  time_to_recover:     {step.time_to_recover} rounds "
+        f"({step.touched_ases} ASes touched)"
+    )
+    print(f"  padding:             {step.padding_before} -> {step.padding_after}")
+    print(
+        f"  pollution:           organic {step.pollution_baseline:.1%} -> "
+        f"attack {step.pollution_attack:.1%} -> "
+        f"residual {step.pollution_residual:.1%}"
+    )
+    print(f"  recovered:           {'yes' if step.recovered else 'no'}")
+    print(
+        f"  alarms:              {step.alarms} attack, "
+        f"{step.self_alarms} self (suppressed)"
+    )
+    print(
+        f"  pipeline:            processed={report.processed} "
+        f"duplicates={report.duplicates} dead_lettered={report.dead_lettered} "
+        f"lost={report.lost} coverage={report.coverage:.0%}"
+    )
+    print()
+    print(slos.summary_table())
+    for event in report.breaches:
+        print(json.dumps(event, sort_keys=True))
     _emit_metrics(args, metrics)
     return 0
 

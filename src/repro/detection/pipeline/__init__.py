@@ -23,6 +23,13 @@ RouteViews-scale churn:
   the serial oracle.
 """
 
+from repro.detection.pipeline.faults import (
+    FEED_FAULT_MODES,
+    FeedFault,
+    FeedFaultPlan,
+    corrupt_update,
+    is_malformed,
+)
 from repro.detection.pipeline.ingest import (
     BACKPRESSURE_POLICIES,
     FeedQueue,
@@ -46,4 +53,9 @@ __all__ = [
     "StreamingPipeline",
     "BACKPRESSURE_POLICIES",
     "split_stream",
+    "FEED_FAULT_MODES",
+    "FeedFault",
+    "FeedFaultPlan",
+    "corrupt_update",
+    "is_malformed",
 ]

@@ -9,8 +9,10 @@ that interleaving irrelevant:
   overflow policy — ``block`` (the producer is stalled while the
   pipeline drains, the lossless default), ``drop`` (the offered update
   is discarded and its sequence number recorded as skipped) or
-  ``park`` (the update overflows into an unbounded side buffer that
-  drains with the next pump) — every event counted in telemetry;
+  ``park`` (the update overflows into a bounded side buffer that
+  drains with the next pump — reaching the park capacity forces a
+  pump, so parking stays lossless *and* bounded) — every event counted
+  in telemetry;
 * messages are merged back into **sequence order** before they reach
   the detector, so the alarm stream is bit-identical to the serial
   single-feed oracle run over the same (surviving) updates, for every
@@ -19,6 +21,17 @@ that interleaving irrelevant:
   :meth:`~repro.detection.pipeline.table.PipelineDetector.consume_batch`
   in batches of up to ``batch`` messages, amortising table lookups and
   dispatch overhead.
+
+Fault tolerance is opt-in via a
+:class:`~repro.detection.pipeline.faults.FeedFaultPlan` (or bare
+``tolerant=True``): feeds then survive scripted outages with bounded
+exponential-backoff reconnection and in-order replay, duplicate
+deliveries are deduplicated instead of raising, malformed updates land
+in a bounded dead-letter buffer, and a feed that keeps flapping is
+quarantined — the pipeline keeps detecting on the surviving monitor
+coverage while telemetry (and the optional SLO registry) track the
+loss.  The quiet path pays a single predicate for all of this: a
+pipeline without a fault layer runs the same code it always did.
 """
 
 from __future__ import annotations
@@ -30,9 +43,16 @@ from collections.abc import Iterable, Sequence
 from repro.bgp.collectors import MonitorView
 from repro.bgp.updates import SequencedUpdate
 from repro.detection.alarms import Alarm
+from repro.detection.pipeline.faults import (
+    FeedFaultPlan,
+    FeedFaultState,
+    corrupt_update,
+    is_malformed,
+)
 from repro.detection.pipeline.table import PipelineDetector
 from repro.exceptions import DetectionError
 from repro.telemetry.metrics import RunMetrics
+from repro.telemetry.slo import SLORegistry
 
 __all__ = ["BACKPRESSURE_POLICIES", "FeedQueue", "StreamingPipeline", "split_stream"]
 
@@ -66,6 +86,11 @@ class StreamingPipeline:
     (sequence gaps — dropped or never-offered updates — are skipped in
     order).  Alarms are returned from the call that processed them and
     also accumulated on :attr:`alarms`.
+
+    ``fault_plan`` arms the fault-injection layer (see module docs);
+    ``tolerant=True`` enables the same tolerance machinery — dedupe,
+    dead-lettering, quarantine — without any scripted faults, which is
+    what a deployment fronting real, unreliable feeds would run.
     """
 
     def __init__(
@@ -78,6 +103,13 @@ class StreamingPipeline:
         policy: str = "block",
         first_seq: int = 0,
         metrics: RunMetrics | None = None,
+        drop_log: int = 1024,
+        park_capacity: int = 4096,
+        fault_plan: FeedFaultPlan | None = None,
+        tolerant: bool = False,
+        quarantine_after: int = 3,
+        dead_letter_cap: int = 256,
+        slos: SLORegistry | None = None,
     ) -> None:
         if feeds < 1:
             raise DetectionError("a pipeline needs at least one feed")
@@ -90,6 +122,10 @@ class StreamingPipeline:
                 f"unknown backpressure policy {policy!r}; "
                 f"expected one of {BACKPRESSURE_POLICIES}"
             )
+        if drop_log < 1:
+            raise DetectionError("drop_log must be >= 1")
+        if park_capacity < 1:
+            raise DetectionError("park_capacity must be >= 1")
         self.detector = detector
         self.batch = batch
         self.policy = policy
@@ -103,14 +139,49 @@ class StreamingPipeline:
         self._buffered: set[int] = set()
         self._next_seq = first_seq
         self._enqueued = 0
-        #: sequence numbers known lost (drop policy) — skipped in order
+        #: sequence numbers known lost (drop policy, faults) — skipped in order
         self._skipped: set[int] = set()
         # backpressure accounting (mirrored into metrics when attached)
         self.dropped = 0
         self.parked = 0
         self.blocked = 0
         self.processed = 0
-        self.dropped_seqs: list[int] = []
+        #: bounded ring of the most recent dropped sequence numbers —
+        #: :attr:`dropped` keeps the exact total even past the cap
+        self._dropped_ring: deque[int] = deque(maxlen=drop_log)
+        self.park_capacity = park_capacity
+        self.park_high_water = 0
+        # fault-tolerance layer (None == the original quiet path)
+        self.slos = slos
+        self.tolerant = tolerant or fault_plan is not None
+        self.quarantine_after = quarantine_after
+        self.duplicates = 0
+        self.dead_lettered = 0
+        self.lost = 0
+        self.replay_high_water = 0
+        self.quarantined_feeds: list[int] = []
+        self._dead_letter_ring: deque[SequencedUpdate] = deque(maxlen=dead_letter_cap)
+        self._fault_states: list[FeedFaultState] | None = None
+        if self.tolerant:
+            plan = fault_plan if fault_plan is not None else FeedFaultPlan()
+            self._fault_states = [
+                FeedFaultState(i, plan.faults_for(i)) for i in range(feeds)
+            ]
+
+    @property
+    def dropped_seqs(self) -> list[int]:
+        """The most recent dropped sequence numbers (bounded ring)."""
+        return list(self._dropped_ring)
+
+    @property
+    def dead_letters(self) -> list[SequencedUpdate]:
+        """The most recent malformed updates (bounded ring)."""
+        return list(self._dead_letter_ring)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of feeds still delivering (1.0 == no quarantine)."""
+        return 1.0 - len(self.quarantined_feeds) / len(self.queues)
 
     # -- producing ------------------------------------------------------
     def prime(self, view: MonitorView) -> None:
@@ -120,23 +191,36 @@ class StreamingPipeline:
         """Enqueue one update from ``feed_id``; returns alarms raised if
         the offer triggered a pump (full batch ready, or a blocking
         drain on overflow)."""
+        if self._fault_states is None:
+            return self._admit(feed_id, item)
+        return self._offer_tolerant(feed_id, item)
+
+    def _admit(self, feed_id: int, item: SequencedUpdate) -> list[Alarm]:
         queue = self.queues[feed_id]
+        raised: list[Alarm] = []
         if (
             item.seq < self._next_seq
             or item.seq in self._buffered
             or item.seq in self._skipped
         ):
+            if self.tolerant:
+                # Redelivery (feed retransmission or injected duplicate
+                # burst): dedupe and move on instead of tearing down.
+                self.duplicates += 1
+                metrics = self.metrics
+                if metrics is not None and metrics.enabled:
+                    metrics.count("detection.pipeline.duplicates")
+                return raised
             raise DetectionError(
                 f"feed {feed_id} delivered sequence {item.seq} twice "
                 f"(next expected {self._next_seq})"
             )
-        raised: list[Alarm] = []
         metrics = self.metrics
         track = metrics is not None and metrics.enabled
         if len(queue.items) >= queue.capacity:
             if self.policy == "drop":
                 self.dropped += 1
-                self.dropped_seqs.append(item.seq)
+                self._dropped_ring.append(item.seq)
                 self._skipped.add(item.seq)
                 if track:
                     metrics.count("detection.pipeline.dropped")
@@ -145,8 +229,16 @@ class StreamingPipeline:
                 self.parked += 1
                 queue.parked.append(item)
                 self._buffered.add(item.seq)
+                depth = len(queue.parked)
+                if depth > self.park_high_water:
+                    self.park_high_water = depth
                 if track:
                     metrics.count("detection.pipeline.parked")
+                    metrics.observe("detection.pipeline.park_depth", depth)
+                if depth >= self.park_capacity:
+                    # The side buffer is full: force a lossless drain
+                    # instead of growing without bound.
+                    raised.extend(self.pump())
                 return raised
             # block: the producer stalls while the pipeline drains.
             self.blocked += 1
@@ -160,6 +252,147 @@ class StreamingPipeline:
             metrics.observe("detection.pipeline.queue_depth", len(queue.items))
         if self._enqueued >= self.batch:
             raised.extend(self.pump())
+        return raised
+
+    # -- fault tolerance ------------------------------------------------
+    def _lose(self, item: SequencedUpdate) -> None:
+        """Record one update as permanently lost (graceful: the merge
+        skips its sequence number instead of stalling)."""
+        if item.seq >= self._next_seq and item.seq not in self._buffered:
+            self._skipped.add(item.seq)
+        self.lost += 1
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.count("detection.pipeline.lost")
+
+    def _dead_letter(self, item: SequencedUpdate, *, lost: bool) -> None:
+        self._dead_letter_ring.append(item)
+        self.dead_lettered += 1
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.count("detection.pipeline.dead_lettered")
+        if lost:
+            self._lose(item)
+
+    def _quarantine(self, state: FeedFaultState) -> None:
+        state.quarantined = True
+        self.quarantined_feeds.append(state.feed_id)
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.count("detection.pipeline.quarantined")
+            metrics.observe(
+                "detection.pipeline.coverage_pct", int(self.coverage * 100)
+            )
+        while state.replay:
+            self._lose(state.replay.popleft())
+
+    def _reconnect(self, state: FeedFaultState) -> list[Alarm]:
+        """Feed back up: replay the retransmission buffer in order."""
+        state.reconnect()
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.count("detection.pipeline.reconnects")
+        raised: list[Alarm] = []
+        while state.replay:
+            raised.extend(self._admit(state.feed_id, state.replay.popleft()))
+        return raised
+
+    def _outage_tick(self, state: FeedFaultState, item: SequencedUpdate) -> list[Alarm]:
+        state.outage_remaining -= 1
+        backoff = state.tick_backoff()
+        metrics = self.metrics
+        track = metrics is not None and metrics.enabled
+        if track:
+            metrics.observe("detection.pipeline.backoff", int(backoff))
+        if state.outage_recoverable:
+            state.replay.append(item)
+            depth = len(state.replay)
+            if depth > self.replay_high_water:
+                self.replay_high_water = depth
+            if track:
+                metrics.observe("detection.pipeline.replay_depth", depth)
+            if self.slos is not None:
+                self.slos.record("feed-staleness", depth)
+        else:
+            self._lose(item)
+        if state.outage_remaining == 0:
+            return self._reconnect(state)
+        return []
+
+    def _offer_tolerant(self, feed_id: int, item: SequencedUpdate) -> list[Alarm]:
+        assert self._fault_states is not None
+        state = self._fault_states[feed_id]
+        try:
+            if state.quarantined:
+                self._lose(item)
+                return []
+            if is_malformed(item.message):
+                self._dead_letter(item, lost=True)
+                return []
+            if state.outage_remaining > 0:
+                return self._outage_tick(state, item)
+            if state.storm_remaining > 0:
+                state.storm.append(item)
+                state.storm_remaining -= 1
+                if state.storm_remaining == 0:
+                    raised: list[Alarm] = []
+                    for held in reversed(state.storm):
+                        raised.extend(self._admit(feed_id, held))
+                    state.storm.clear()
+                    return raised
+                return []
+            fault = state.next_fault()
+            if fault is None:
+                return self._admit(feed_id, item)
+            metrics = self.metrics
+            track = metrics is not None and metrics.enabled
+            if track:
+                metrics.count(f"detection.pipeline.faults.{fault.mode}")
+            if fault.mode == "outage":
+                state.disconnects += 1
+                if state.disconnects > self.quarantine_after:
+                    self._quarantine(state)
+                    self._lose(item)
+                    return []
+                state.outage_remaining = fault.span
+                state.outage_recoverable = fault.recoverable
+                return self._outage_tick(state, item)
+            if fault.mode == "dup":
+                raised = self._admit(feed_id, item)
+                for _ in range(fault.burst):
+                    raised.extend(self._admit(feed_id, item))
+                return raised
+            if fault.mode == "corrupt":
+                self._dead_letter(corrupt_update(item), lost=not fault.recoverable)
+                if fault.recoverable:
+                    # The feed retransmits the clean copy immediately.
+                    return self._admit(feed_id, item)
+                return []
+            # gap_storm: withhold a span and release it in reverse.
+            if fault.span == 1:
+                return self._admit(feed_id, item)
+            state.storm.append(item)
+            state.storm_remaining = fault.span - 1
+            return []
+        finally:
+            state.offers += 1
+
+    def _drain_fault_buffers(self) -> list[Alarm]:
+        """End of stream: whatever the fault layer still withholds
+        (outage replay, unfinished gap storms) is delivered now."""
+        raised: list[Alarm] = []
+        if self._fault_states is None:
+            return raised
+        for state in self._fault_states:
+            if state.storm:
+                for held in reversed(state.storm):
+                    raised.extend(self._admit(state.feed_id, held))
+                state.storm.clear()
+                state.storm_remaining = 0
+            if state.outage_remaining > 0:
+                state.outage_remaining = 0
+                if state.replay:
+                    raised.extend(self._reconnect(state))
         return raised
 
     # -- draining -------------------------------------------------------
@@ -222,8 +455,11 @@ class StreamingPipeline:
     def flush(self) -> list[Alarm]:
         """End of stream: process everything still buffered, skipping
         sequence gaps (lost updates) in order."""
+        raised: list[Alarm] = []
+        if self._fault_states is not None:
+            raised.extend(self._drain_fault_buffers())
         self._collect()
-        raised = self._process(self._ready_run())
+        raised.extend(self._process(self._ready_run()))
         if self._pending:
             # Whatever remains is stranded behind gaps nobody will fill:
             # process it in sequence order.

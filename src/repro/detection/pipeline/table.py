@@ -258,6 +258,12 @@ class PipelineDetector:
         self.metrics = metrics
         self._updates_seen = 0
         self._first_alarm_recorded = False
+        #: prefix -> updates seen when its first alarm fired.  Measured
+        #: at the detector (post-merge), so for lossless ingestion the
+        #: value is identical across feed counts, batch sizes and
+        #: backpressure policies — the deterministic time-to-detect
+        #: signal the mitigation controller consumes.
+        self.first_alarm_at: dict[str, int] = {}
 
     # -- priming --------------------------------------------------------
     def prime(self, view: MonitorView) -> None:
@@ -402,6 +408,8 @@ class PipelineDetector:
                 raised = detector.inspect_change(monitor, previous, current, entry.view)
                 if raised:
                     alarms.extend(raised)
+                    if prefix not in self.first_alarm_at:
+                        self.first_alarm_at[prefix] = updates_seen
                     if track:
                         metrics.count("detection.pipeline.alarms", len(raised))
                     if not self._first_alarm_recorded:

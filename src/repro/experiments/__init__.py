@@ -33,6 +33,8 @@ from repro.experiments import (
     fig14_pollution_before_detection,
     figD1_deployment_sweep,
     figD2_policy_tiers,
+    figM1_time_to_recovery,
+    figM2_feed_loss,
     table1_traceroute,
 )
 from repro.experiments.base import ExperimentResult, ExperimentWorld, build_world
@@ -58,6 +60,8 @@ REGISTRY: dict[str, tuple[Callable[[], object], Callable[..., ExperimentResult]]
     ),
     "figD1": (figD1_deployment_sweep.FigD1Config, figD1_deployment_sweep.run),
     "figD2": (figD2_policy_tiers.FigD2Config, figD2_policy_tiers.run),
+    "figM1": (figM1_time_to_recovery.FigM1Config, figM1_time_to_recovery.run),
+    "figM2": (figM2_feed_loss.FigM2Config, figM2_feed_loss.run),
     "ablation-engine": (ablation_engine.AblationEngineConfig, ablation_engine.run),
     "ablation-monitors": (
         ablation_monitors.AblationMonitorsConfig,

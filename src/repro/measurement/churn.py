@@ -80,14 +80,34 @@ class SynthesizedStream:
     victim: int | None = None
     attacker: int | None = None
     attack_result: InterceptionResult | None = field(default=None, repr=False)
+    #: sequence stamp of the first attack-burst message (None when the
+    #: stream carries no attack) — the closed loop's t=0 for
+    #: time-to-detect
+    attack_start_seq: int | None = None
+    #: sequence stamp one past the last attack-burst message
+    attack_end_seq: int | None = None
 
     @property
     def updates(self) -> int:
         return len(self.messages)
 
+    @property
+    def attack_window(self) -> tuple[int, int] | None:
+        """``[start, end)`` sequence window of the spliced attack burst."""
+        if self.attack_start_seq is None or self.attack_end_seq is None:
+            return None
+        return (self.attack_start_seq, self.attack_end_seq)
+
     def plain_messages(self) -> list[UpdateMessage]:
         """The stream without sequence stamps (the serial-oracle input)."""
         return [sequenced.message for sequenced in self.messages]
+
+    def feed_streams(self, feeds: int) -> list[list[SequencedUpdate]]:
+        """The stream split round-robin across ``feeds`` feeds (the
+        shape :meth:`StreamingPipeline.run` consumes)."""
+        from repro.detection.pipeline.ingest import split_stream
+
+        return split_stream(self.messages, feeds)
 
 
 def _background_prefix(index: int) -> str:
@@ -244,16 +264,22 @@ def synthesize_churn_stream(
     plain: list[UpdateMessage] = []
     background = 0
     spliced = not config.attack
+    attack_start: int | None = None
+    attack_end: int | None = None
     while background < target_background and pools:
         if not spliced and splice_at is not None and background >= splice_at:
+            attack_start = len(plain)
             plain.extend(attack_burst)
+            attack_end = len(plain)
             spliced = True
         pool = pools[rng.randrange(len(pools))]
         flap = pool[rng.randrange(len(pool))]
         plain.extend(flap)
         background += len(flap)
     if not spliced:
+        attack_start = len(plain)
         plain.extend(attack_burst)
+        attack_end = len(plain)
 
     messages = [
         SequencedUpdate(seq=seq, message=message)
@@ -268,4 +294,6 @@ def synthesize_churn_stream(
         victim=victim,
         attacker=attacker,
         attack_result=attack_result,
+        attack_start_seq=attack_start if config.attack else None,
+        attack_end_seq=attack_end if config.attack else None,
     )

@@ -1,0 +1,54 @@
+"""Victim countermeasure strategies against prepend-stripping.
+
+The attack's entire pollution gain is a function of the victim's own
+origin padding: the attacker strips ``λ - keep`` trailing copies, so
+the malicious route is exactly that many hops shorter than the honest
+one.  Every strategy here is therefore a rule for choosing a *new* λ
+once the attack is detected — no filtering, no out-of-band channel,
+just the victim's next announcement, which is what makes the
+countermeasure deployable unilaterally (the property ARTEMIS calls
+self-operated mitigation).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+
+__all__ = ["MITIGATION_STRATEGIES", "mitigated_padding"]
+
+MITIGATION_STRATEGIES = ("none", "stepdown", "reset")
+
+
+def mitigated_padding(
+    strategy: str,
+    current: int,
+    *,
+    step: int = 1,
+    floor: int = 1,
+) -> int:
+    """The origin padding the victim re-announces with.
+
+    ``none`` keeps λ (the control arm); ``stepdown`` reduces it by
+    ``step`` toward ``floor`` (gradual, preserving as much of the
+    traffic-engineering intent as possible); ``reset`` jumps straight
+    to ``floor`` — with the default floor of 1 the attacker's strip
+    removes nothing, so the malicious route loses its length advantage
+    entirely and residual pollution collapses to the attacker's
+    organic (before-hijack) traversal share.
+    """
+    if strategy not in MITIGATION_STRATEGIES:
+        raise SimulationError(
+            f"unknown mitigation strategy {strategy!r}; "
+            f"expected one of {MITIGATION_STRATEGIES}"
+        )
+    if current < 1:
+        raise SimulationError("current padding must be >= 1")
+    if floor < 1:
+        raise SimulationError("padding floor must be >= 1")
+    if step < 1:
+        raise SimulationError("stepdown step must be >= 1")
+    if strategy == "none":
+        return current
+    if strategy == "reset":
+        return min(current, floor)
+    return max(floor, current - step)

@@ -30,6 +30,14 @@ from repro.telemetry.report import (
     to_jsonl,
     write_jsonl,
 )
+from repro.telemetry.slo import (
+    SLO,
+    SLO_KINDS,
+    BreachEvent,
+    SLORegistry,
+    SLOTracker,
+    default_pipeline_slos,
+)
 
 __all__ = [
     "CACHE_SHAPE_PREFIXES",
@@ -44,4 +52,10 @@ __all__ = [
     "summary_table",
     "to_jsonl",
     "write_jsonl",
+    "SLO",
+    "SLO_KINDS",
+    "BreachEvent",
+    "SLORegistry",
+    "SLOTracker",
+    "default_pipeline_slos",
 ]

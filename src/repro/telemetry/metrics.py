@@ -155,12 +155,27 @@ class Histogram:
         (``2**b - 1``), clamped into ``[min, max]`` so the estimate
         never leaves the observed range.  Exact to within one bucket —
         good enough for the p50/p99 latency gates the benchmarks
-        report.  Returns ``0.0`` for an empty histogram.
+        report.
+
+        Explicit edge semantics (pinned by unit tests):
+
+        * an **empty** histogram returns ``0.0`` for every ``q``;
+        * ``q == 0.0`` returns the exact observed :attr:`min` and
+          ``q == 1.0`` the exact observed :attr:`max` (never a bucket
+          edge);
+        * a **single-bucket** histogram returns a value inside
+          ``[min, max]`` for every ``q`` (the bucket edge clamped into
+          the observed range);
+        * ``q`` outside ``[0, 1]`` (NaN included) raises ``ValueError``.
         """
-        if not 0.0 <= q <= 1.0:
+        if not q >= 0.0 or not q <= 1.0:  # NaN fails both comparisons
             raise ValueError(f"quantile {q} outside [0, 1]")
         if not self.count or self.min is None or self.max is None:
             return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * self.count
         seen = 0
         for bucket in sorted(self.buckets):

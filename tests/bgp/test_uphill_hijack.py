@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.attack.interception import simulate_interception
@@ -72,6 +72,11 @@ class TestMechanics:
 class TestAgreementWithExactEngine:
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(0, 10**6), padding=st.integers(2, 5))
+    # Regression witness: a dual-homed AS tie-breaks onto the
+    # attacker's equal-length stripped route, and the re-selection must
+    # cascade to its customer cone (stale equal-key candidates used to
+    # shadow the refreshed path in the downhill heap).
+    @example(seed=331238, padding=5)
     def test_pollution_matches_engine(self, seed, padding):
         """On random sibling-free topologies the paper's three-phase
         approximation reproduces the exact engine's pollution.  (The

@@ -269,3 +269,48 @@ class TestAblations:
             result.summary["rov_mean_after_pct"]
             == result.summary["none_mean_after_pct"]
         )
+
+
+class TestMitigationExperiments:
+    @pytest.fixture(scope="class")
+    def figM1(self):
+        from repro.experiments.figM1_time_to_recovery import FigM1Config
+
+        return run_experiment(
+            "figM1",
+            FigM1Config(scale=0.2, monitors=15, prefixes=2, updates=400,
+                        paddings=(3,)),
+        )
+
+    def test_figM1_strategy_ladder(self, figM1):
+        by_strategy = {row[1]: row for row in figM1.rows}
+        organic = figM1.summary["lambda3_reset_residual_pollution"]
+        none_residual = by_strategy["none"][7]
+        step_residual = by_strategy["stepdown"][7]
+        reset_residual = by_strategy["reset"][7]
+        # no reaction keeps the full attack pollution; stepdown removes
+        # some of it; the λ-floor reset collapses it to organic
+        assert none_residual == by_strategy["none"][6]
+        assert step_residual < none_residual
+        assert reset_residual <= step_residual
+        assert figM1.summary["lambda3_reset_recovered"] == 1.0
+        assert organic == reset_residual
+
+    def test_figM1_clocks_are_populated(self, figM1):
+        for row in figM1.rows:
+            assert row[2] != "-"  # detected at this scale
+        assert figM1.summary["lambda3_stepdown_time_to_recover"] > 0
+
+    def test_figM2_full_coverage_detects_everything(self):
+        from repro.experiments.figM2_feed_loss import FigM2Config
+
+        result = run_experiment(
+            "figM2",
+            FigM2Config(seeds=(5, 7), scale=0.2, monitors=15, prefixes=2,
+                        updates=400, loss_fractions=(0.0, 0.5)),
+        )
+        assert result.summary["loss0_accuracy_pct"] == 100.0
+        full, half = result.rows
+        assert full[5] == 0  # no feed lost, nothing dropped
+        assert half[5] > 0  # half the feeds dark: updates were lost
+        assert half[2] <= full[2]  # accuracy can only degrade

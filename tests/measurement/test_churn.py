@@ -88,3 +88,31 @@ def test_world_reuse():
 def test_validation(overrides):
     with pytest.raises(SimulationError):
         synthesize_churn_stream(ChurnConfig(**{**SMALL, **overrides}))
+
+
+def test_attack_window_brackets_exactly_the_burst(stream):
+    start, end = stream.attack_window
+    assert start == stream.attack_start_seq
+    assert end == stream.attack_end_seq
+    victim_prefix = stream.attack_result.baseline.prefix
+    inside = [u.seq for u in stream.messages if u.message.prefix == victim_prefix]
+    assert inside == list(range(start, end))
+    assert 0 < start < end <= stream.updates
+
+
+def test_attack_window_is_none_without_attack():
+    config = ChurnConfig(**{**SMALL, "attack": False})
+    stream = synthesize_churn_stream(config)
+    assert stream.attack_window is None
+    assert stream.attack_start_seq is None
+    assert stream.attack_end_seq is None
+
+
+def test_feed_streams_partition_the_whole_stream(stream):
+    for feeds in (1, 3, 5):
+        split = stream.feed_streams(feeds)
+        assert len(split) == feeds
+        recombined = sorted(
+            (u for feed in split for u in feed), key=lambda u: u.seq
+        )
+        assert recombined == stream.messages
