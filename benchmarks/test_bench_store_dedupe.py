@@ -1,0 +1,90 @@
+"""Campaign-store dedupe gate: a warm figure query must be >= 10x
+faster than recomputing it, with zero engine propagations.
+
+The store's whole value proposition is that the second identical query
+is a log read, not a campaign.  This benchmark runs ``fig09`` cold
+(computing and storing every cell plus the experiment record), then
+queries the same figure warm, and gates:
+
+* the warm query is served ``from_store`` with rows bit-identical to
+  the cold run,
+* the warm registry records no ``engine.*`` counters at all,
+* warm latency beats the cold recompute by >= 10x.
+
+The measured profile is merged into ``BENCH_engine.json`` as the
+``campaign_store_dedupe`` record.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from test_bench_engine_perf import _merge_bench
+
+from repro.store import CampaignStore, query_experiment
+from repro.telemetry.metrics import RunMetrics
+
+#: keeps the cold leg around a second while leaving enough work for
+#: the 10x gate to be meaningful rather than noise-dominated.
+SCALE = 0.3
+GATE = 10.0
+
+
+def test_store_dedupe_speedup_gate():
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        with CampaignStore(root) as store:
+            cold_metrics = RunMetrics()
+            t0 = time.perf_counter()
+            cold = query_experiment(
+                store, "fig09", metrics=cold_metrics, scale=SCALE
+            )
+            cold_ms = (time.perf_counter() - t0) * 1000.0
+            assert not cold.from_store
+
+            warm_metrics = RunMetrics()
+            t0 = time.perf_counter()
+            warm = query_experiment(
+                store, "fig09", metrics=warm_metrics, scale=SCALE
+            )
+            warm_ms = (time.perf_counter() - t0) * 1000.0
+
+            assert warm.from_store, "second query must be a pure store hit"
+            assert warm.result.rows == cold.result.rows
+            assert warm.result.summary == cold.result.summary
+            engine_counters = [
+                name
+                for name in warm_metrics.counters
+                if name.startswith("engine.")
+            ]
+            assert engine_counters == [], (
+                f"warm query touched the engine: {engine_counters}"
+            )
+
+            speedup = cold_ms / warm_ms if warm_ms > 0 else float("inf")
+            stats = store.stats()
+
+        print(
+            f"\nstore dedupe: cold {cold_ms:.1f} ms -> warm {warm_ms:.2f} ms "
+            f"({speedup:.0f}x, {stats['records']} records, "
+            f"{stats['bytes']} bytes)"
+        )
+        _merge_bench(
+            "campaign_store_dedupe",
+            {
+                "cold_ms": round(cold_ms, 2),
+                "warm_ms": round(warm_ms, 3),
+                "speedup": round(speedup, 1),
+                "store_records": stats["records"],
+                "store_bytes": stats["bytes"],
+                "gate": GATE,
+            },
+        )
+        assert speedup >= GATE, (
+            f"warm store query only {speedup:.1f}x faster than recompute "
+            f"(gate {GATE}x): cold {cold_ms:.1f} ms, warm {warm_ms:.2f} ms"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

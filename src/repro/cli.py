@@ -47,6 +47,7 @@ import dataclasses
 import inspect
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.experiments import REGISTRY
 from repro.telemetry.metrics import RunMetrics
@@ -287,6 +288,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_engine_mode_flag(campaign_parser)
     _add_backend_flag(campaign_parser)
     _add_topology_flag(campaign_parser)
+    _add_store_flags(campaign_parser)
     _add_metrics_flags(campaign_parser)
 
     grid_parser = subparsers.add_parser(
@@ -327,6 +329,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_engine_mode_flag(grid_parser)
     _add_backend_flag(grid_parser)
     _add_topology_flag(grid_parser)
+    _add_store_flags(grid_parser)
     _add_metrics_flags(grid_parser)
 
     secpol_parser = subparsers.add_parser(
@@ -387,6 +390,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_engine_mode_flag(secpol_parser)
     _add_backend_flag(secpol_parser)
     _add_topology_flag(secpol_parser)
+    _add_store_flags(secpol_parser)
     _add_metrics_flags(secpol_parser)
 
     stream_parser = subparsers.add_parser(
@@ -517,6 +521,47 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_metrics_flags(mitigate_parser)
 
+    query_parser = subparsers.add_parser(
+        "query",
+        help="serve an experiment from a campaign store, computing only "
+        "what is missing",
+    )
+    query_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    query_parser.add_argument(
+        "--store", type=str, required=True, metavar="DIR",
+        help="campaign store directory (created if missing); a repeated "
+        "query is a pure store hit — zero propagations",
+    )
+    query_parser.add_argument("--seed", type=int, default=None)
+    query_parser.add_argument("--scale", type=float, default=None)
+    query_parser.add_argument("--pairs", type=int, default=None)
+    query_parser.add_argument("--instances", type=int, default=None)
+    query_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes if the experiment has to compute (never "
+        "part of the content address: any layout serves any query)",
+    )
+    _add_metrics_flags(query_parser)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and maintain a campaign store"
+    )
+    store_parser.add_argument(
+        "--store", type=str, required=True, metavar="DIR",
+        help="campaign store directory",
+    )
+    store_parser.add_argument(
+        "--compact", action="store_true",
+        help="rewrite the record log to one record per fingerprint "
+        "(drops duplicate/corrupt lines); run without concurrent writers",
+    )
+    store_parser.add_argument(
+        "--import-journal", type=str, action="append", default=[],
+        metavar="PATH", dest="import_journals",
+        help="lift a legacy --resume checkpoint journal's results into "
+        "the store (repeatable); the journal is left untouched",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for experiment_id in REGISTRY:
@@ -534,6 +579,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _detect_stream(args, parser, _make_metrics(args, parser))
     if args.command == "mitigate-stream":
         return _mitigate_stream(args, parser, _make_metrics(args, parser))
+    if args.command == "query":
+        return _query(args, parser, _make_metrics(args, parser))
+    if args.command == "store":
+        return _store_admin(args, parser)
     overrides = {
         name: getattr(args, name, None)
         for name in ("seed", "scale", "pairs", "instances", "workers")
@@ -573,6 +622,86 @@ def _world(args) -> int:
             header=f"generated by repro-aspp world --seed {args.seed} --scale {args.scale}",
         )
         print(f"\nwritten to {args.save}")
+    return 0
+
+
+def _add_store_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="content-addressed campaign store: cells already computed "
+        "by any earlier run replay from the store, fresh cells stream "
+        "back in (results are unaffected)",
+    )
+    subparser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the task space across N work-stealing supervised "
+        "executors (--workers is the pool size per shard); results are "
+        "identical at any shard count",
+    )
+
+
+def _open_store(args, metrics: RunMetrics | None = None):
+    """Build the CampaignStore named by --store, or None."""
+    if getattr(args, "store", None) is None:
+        return None
+    from repro.store import CampaignStore
+
+    return CampaignStore(args.store, metrics=metrics)
+
+
+def _query(args, parser, metrics: RunMetrics | None = None) -> int:
+    from repro.store import CampaignStore, query_experiment
+
+    store = CampaignStore(args.store, metrics=metrics)
+    try:
+        overrides = {
+            name: getattr(args, name, None)
+            for name in ("seed", "scale", "pairs", "instances", "workers")
+        }
+        outcome = query_experiment(
+            store, args.experiment, metrics=metrics, **overrides
+        )
+        print(outcome.result.to_text())
+        print()
+        if outcome.from_store:
+            print(
+                f"served from store (fingerprint {outcome.fingerprint[:16]}…, "
+                "zero propagations)"
+            )
+        else:
+            print(
+                f"computed and stored (fingerprint {outcome.fingerprint[:16]}…); "
+                "an identical query is now a pure store hit"
+            )
+        stats = store.stats()
+        print(
+            f"store: {stats['records']} records, {stats['bytes']} bytes "
+            f"({stats['path']})"
+        )
+    finally:
+        store.close()
+    _emit_metrics(args, metrics)
+    return 0
+
+
+def _store_admin(args, parser) -> int:
+    from repro.store import CampaignStore, import_journal
+
+    with CampaignStore(args.store) as store:
+        for journal_path in args.import_journals:
+            if not Path(journal_path).exists():
+                parser.error(f"--import-journal: no journal at {journal_path}")
+            imported = import_journal(journal_path, store)
+            print(f"imported {imported} new records from {journal_path}")
+        if args.compact:
+            reclaimed = store.compact()
+            print(f"compacted: reclaimed {reclaimed} bytes")
+        stats = store.stats()
+        print(f"store: {stats['path']}")
+        print(f"  records:             {stats['records']}")
+        print(f"  bytes:               {stats['bytes']}")
+        for kind, count in stats["kinds"].items():
+            print(f"  {kind + ':':<20} {count}")
     return 0
 
 
@@ -619,19 +748,26 @@ def _secpol_sweep(args, parser, metrics: RunMetrics | None = None) -> int:
         if not tier2:
             parser.error("no Tier-2 transit AS available; pass --attacker")
         attacker = min(tier2, key=lambda t: (-len(customer_cone(graph, t)), t))
-    results = study.deployment_sweep(
-        victim=victim,
-        attacker=attacker,
-        padding=args.padding,
-        policy=args.policy,
-        strategy=args.strategy,
-        fractions=fractions,
-        violate_policy=not args.valley_free,
-        workers=args.workers,
-        metrics=metrics,
-        resume=args.resume,
-        retry=_retry_policy(args),
-    )
+    store = _open_store(args, metrics)
+    try:
+        results = study.deployment_sweep(
+            victim=victim,
+            attacker=attacker,
+            padding=args.padding,
+            policy=args.policy,
+            strategy=args.strategy,
+            fractions=fractions,
+            violate_policy=not args.valley_free,
+            workers=args.workers,
+            metrics=metrics,
+            resume=args.resume,
+            retry=_retry_policy(args),
+            store=store,
+            shards=args.shards,
+        )
+    finally:
+        if store is not None:
+            store.close()
     print(
         format_table(
             ("deployed_frac", "deployed_ases", "before_%", "after_%"),
@@ -667,15 +803,22 @@ def _grid(args, parser, metrics: RunMetrics | None = None) -> int:
 
     attackers = top_by_cone(study.world.transit_ases, args.attackers)
     victims = top_by_cone(graph.ases, args.victims)
-    results = study.exhaustive_grid(
-        padding=args.padding,
-        attacker_pool=attackers,
-        victim_pool=victims,
-        workers=args.workers,
-        metrics=metrics,
-        resume=args.resume,
-        retry=_retry_policy(args),
-    )
+    store = _open_store(args, metrics)
+    try:
+        results = study.exhaustive_grid(
+            padding=args.padding,
+            attacker_pool=attackers,
+            victim_pool=victims,
+            workers=args.workers,
+            metrics=metrics,
+            resume=args.resume,
+            retry=_retry_policy(args),
+            store=store,
+            shards=args.shards,
+        )
+    finally:
+        if store is not None:
+            store.close()
     effective = [r for r in results if r.after_fraction > r.before_fraction]
     mean_after = sum(r.after_fraction for r in results) / len(results)
     print(
@@ -862,14 +1005,21 @@ def _campaign(args, parser, metrics: RunMetrics | None = None) -> int:
     study = _make_study(
         args, parser, monitors=args.monitors, placement=args.placement
     )
-    campaign = study.campaign(
-        pairs=args.pairs,
-        padding=args.padding,
-        workers=args.workers,
-        metrics=metrics,
-        resume=args.resume,
-        retry=retry,
-    )
+    store = _open_store(args, metrics)
+    try:
+        campaign = study.campaign(
+            pairs=args.pairs,
+            padding=args.padding,
+            workers=args.workers,
+            metrics=metrics,
+            resume=args.resume,
+            retry=retry,
+            store=store,
+            shards=args.shards,
+        )
+    finally:
+        if store is not None:
+            store.close()
     effective = campaign.effective
     print(
         f"campaign: {args.pairs} random attacks, λ={args.padding}, "

@@ -39,6 +39,7 @@ from repro.runner import (
     CheckpointJournal,
     FaultPlan,
     RetryPolicy,
+    ShardedScheduler,
     SupervisedExecutor,
     TaskFailure,
     WorkerContext,
@@ -271,6 +272,8 @@ class InterceptionStudy:
         metrics: RunMetrics | None = None,
         resume: str | None = None,
         retry: RetryPolicy | None = None,
+        store=None,
+        shards: int | None = None,
     ):
         """Residual pollution per deployment fraction of a security policy.
 
@@ -299,6 +302,8 @@ class InterceptionStudy:
             metrics=metrics,
             checkpoint=resume,
             retry=retry,
+            store=store,
+            shards=shards,
         )
 
     def exhaustive_grid(
@@ -311,6 +316,8 @@ class InterceptionStudy:
         metrics: RunMetrics | None = None,
         resume: str | None = None,
         retry: RetryPolicy | None = None,
+        store=None,
+        shards: int | None = None,
     ):
         """Every attacker × every victim at fixed λ, no sampling.
 
@@ -341,6 +348,8 @@ class InterceptionStudy:
             metrics=metrics,
             checkpoint=resume,
             retry=retry,
+            store=store,
+            shards=shards,
         )
 
     def campaign(
@@ -356,6 +365,8 @@ class InterceptionStudy:
         resume: str | None = None,
         retry: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
+        store=None,
+        shards: int | None = None,
     ) -> AttackCampaign:
         """Run many random attack instances and detect each one.
 
@@ -388,6 +399,13 @@ class InterceptionStudy:
         Deterministic counters and histograms aggregate to the same
         values for every worker count (timers and the per-worker load
         split in the ``info`` section legitimately differ).
+
+        ``store`` attaches a :class:`~repro.store.CampaignStore`
+        (instances already stored by *any* earlier campaign replay
+        instead of re-running, and fresh instances stream back in);
+        ``shards`` splits the instance list across that many
+        work-stealing supervised executors.  Both leave the campaign's
+        results bit-identical to the plain path.
         """
         if pairs < 1:
             raise ExperimentError("a campaign needs at least one pair")
@@ -409,10 +427,28 @@ class InterceptionStudy:
             engine_mode=self._engine.mode,
             fault_plan=faults,
         )
+        if store is None:
+            from repro.store import get_active_store
+
+            store = get_active_store()
+        shard_count = 1 if shards is None else shards
         journal = CheckpointJournal(resume) if resume is not None else None
         supervise = journal is not None or faults is not None or retry is not None
         try:
-            if resolve_workers(workers) == 1:
+            if store is not None or shard_count > 1:
+                serial = shard_count == 1 and resolve_workers(workers) == 1
+                with ShardedScheduler(
+                    spec,
+                    shards=shard_count,
+                    workers=workers,
+                    retry=retry,
+                    store=store,
+                    journal=journal,
+                    metrics=metrics,
+                    engine=self._engine if serial else None,
+                ) as scheduler:
+                    outcomes = scheduler.run(tasks)
+            elif resolve_workers(workers) == 1:
                 prev_engine_metrics = self._engine.metrics
                 try:
                     if supervise:
@@ -453,3 +489,27 @@ class InterceptionStudy:
             campaign.results.append(result)
             campaign.timings.append(timing)
         return campaign
+
+    def query(
+        self,
+        experiment_id: str,
+        *,
+        store,
+        metrics: RunMetrics | None = None,
+        **overrides,
+    ):
+        """Serve a registered experiment from a campaign ``store``.
+
+        A previously computed figure (any ``figNN``/``figD*``/``figM*``
+        id in :data:`repro.experiments.REGISTRY`) comes straight back
+        from the store — zero propagations, bit-identical rows; a
+        missing one computes with the store ambiently bound (so its
+        individual cells dedupe against every earlier campaign) and is
+        stored for next time.  ``overrides`` replace config fields;
+        the study's seed is the default.  Returns a
+        :class:`repro.store.QueryOutcome`.
+        """
+        from repro.store import query_experiment
+
+        overrides.setdefault("seed", self._seed)
+        return query_experiment(store, experiment_id, metrics=metrics, **overrides)

@@ -16,6 +16,15 @@ JSONL file and a rerun pointed at the same path replays completed
 points instead of re-converging them.  Sweeps need complete data, so a
 task that exhausts its retry budget raises :class:`SimulationError`
 (campaigns, by contrast, collect structured failures).
+
+When a :class:`~repro.store.CampaignStore` is attached — explicitly via
+``store=`` or ambiently via :func:`repro.store.use_store` — execution
+routes through the :class:`~repro.runner.ShardedScheduler`: cells whose
+fingerprints are already stored replay from the log (a fully warm
+store performs *zero* engine propagations, not even baseline
+prefetches), only missing cells run (optionally split across
+work-stealing ``shards``), and fresh results stream back for every
+later campaign to reuse.  Rows stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.runner import (
     DeploymentPointTask,
     FaultPlan,
     RetryPolicy,
+    ShardedScheduler,
     SupervisedExecutor,
     SweepPointResult,
     SweepPointTask,
@@ -41,6 +51,7 @@ from repro.runner import (
     execute_task,
     resolve_workers,
 )
+from repro.store.active import get_active_store
 from repro.telemetry.metrics import RunMetrics
 
 __all__ = ["exhaustive_grid", "padding_sweep", "pair_grid", "deployment_sweep"]
@@ -91,6 +102,8 @@ def _run_tasks(
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     fingerprint_context: str | None = None,
+    store=None,
+    shards: int | None = None,
 ) -> list:
     """Run sweep tasks serially on ``engine`` or across a process pool.
 
@@ -99,6 +112,12 @@ def _run_tasks(
     cache), and the pooled path merges the per-task deltas the workers
     ship back, so the deterministic counters come out identical for
     every worker count.
+
+    A ``store`` (explicit, or ambient via :func:`repro.store.use_store`)
+    or ``shards > 1`` routes execution through the
+    :class:`~repro.runner.ShardedScheduler` — store hits replay without
+    touching the engine, only missing cells are prefetched and run, and
+    fresh results stream back into the store.
     """
     enabled = metrics is not None and metrics.enabled
     spec = WorkerSpec(
@@ -109,9 +128,28 @@ def _run_tasks(
         engine_mode=engine.mode,
         fault_plan=faults,
     )
+    if store is None:
+        store = get_active_store()
+    shard_count = 1 if shards is None else shards
     journal = CheckpointJournal(checkpoint) if checkpoint is not None else None
     supervise = journal is not None or faults is not None or retry is not None
     try:
+        if store is not None or shard_count > 1:
+            serial = shard_count == 1 and resolve_workers(workers) == 1
+            with ShardedScheduler(
+                spec,
+                shards=shard_count,
+                workers=workers,
+                retry=retry,
+                store=store,
+                journal=journal,
+                fingerprint_context=fingerprint_context,
+                metrics=metrics,
+                engine=engine if serial else None,
+                cache=cache if serial else None,
+                prepare=_prefetch_families,
+            ) as scheduler:
+                return _raise_on_failures(scheduler.run(tasks))
         if resolve_workers(workers) == 1:
             prev_engine_metrics = engine.metrics
             prev_cache_metrics = cache.metrics if cache is not None else None
@@ -165,6 +203,8 @@ def padding_sweep(
     checkpoint: str | Path | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    store=None,
+    shards: int | None = None,
 ) -> list[tuple[int, float, float]]:
     """Run the attack for each λ; return ``(λ, before%, after%)`` rows.
 
@@ -201,6 +241,8 @@ def padding_sweep(
         checkpoint=checkpoint,
         retry=retry,
         faults=faults,
+        store=store,
+        shards=shards,
     )
     return [result.row() for result in results]
 
@@ -216,6 +258,8 @@ def pair_grid(
     checkpoint: str | Path | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    store=None,
+    shards: int | None = None,
 ) -> list[SweepPointResult]:
     """Run one fixed-λ attack per ``(attacker, victim)`` pair.
 
@@ -237,6 +281,8 @@ def pair_grid(
         checkpoint=checkpoint,
         retry=retry,
         faults=faults,
+        store=store,
+        shards=shards,
     )
 
 
@@ -252,6 +298,8 @@ def exhaustive_grid(
     checkpoint: str | Path | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    store=None,
+    shards: int | None = None,
 ) -> list[SweepPointResult]:
     """Every attacker × every victim at fixed λ — the full campaign grid.
 
@@ -284,6 +332,8 @@ def exhaustive_grid(
         checkpoint=checkpoint,
         retry=retry,
         faults=faults,
+        store=store,
+        shards=shards,
     )
 
 
@@ -304,6 +354,8 @@ def deployment_sweep(
     checkpoint: str | Path | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    store=None,
+    shards: int | None = None,
 ) -> list[DeploymentPointResult]:
     """Run the attack once per deployment fraction of a security policy.
 
@@ -344,4 +396,6 @@ def deployment_sweep(
         checkpoint=checkpoint,
         retry=retry,
         faults=faults,
+        store=store,
+        shards=shards,
     )

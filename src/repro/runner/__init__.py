@@ -17,6 +17,13 @@ degradation, and checkpoint/resume through a
 :class:`CheckpointJournal` on top of the same task machinery, with a
 deterministic :class:`FaultPlan` harness (:mod:`repro.runner.faults`)
 so every recovery path is exercised in CI.
+
+:class:`ShardedScheduler` (:mod:`repro.runner.scheduler`) scales the
+supervised path sideways: the fingerprinted task space splits across
+shard-local executors with work-stealing between them, consults a
+content-addressed :class:`~repro.store.CampaignStore` so only missing
+cells run, and streams completed records back — bit-identical to the
+single-pool path at any shard count.
 """
 
 from repro.runner.cache import (
@@ -38,6 +45,7 @@ from repro.runner.faults import (
     InjectedFaultError,
 )
 from repro.runner.sampling import sample_attack_pairs
+from repro.runner.scheduler import LockedJournal, ShardedScheduler
 from repro.runner.shm import (
     SharedTopologyHandle,
     attach_topology,
@@ -64,8 +72,10 @@ __all__ = [
     "FaultSpec",
     "InjectedCrashError",
     "InjectedFaultError",
+    "LockedJournal",
     "RetryPolicy",
     "SharedTopologyHandle",
+    "ShardedScheduler",
     "SupervisedExecutor",
     "SweepExecutor",
     "SweepPointResult",

@@ -29,9 +29,10 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 import pickle
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = ["CheckpointJournal", "task_fingerprint"]
 
@@ -127,6 +128,16 @@ class CheckpointJournal:
     def __len__(self) -> int:
         return len(self._records)
 
+    def successes(self) -> Iterator[tuple[str, Any]]:
+        """``(fingerprint, decoded result)`` for every success record.
+
+        This is the export surface :func:`repro.store.import_journal`
+        uses to lift a legacy journal into the campaign store.
+        """
+        for fingerprint in self._records:
+            if self.completed(fingerprint):
+                yield fingerprint, self.result_for(fingerprint)
+
     # -- writing --------------------------------------------------------
     def _append(self, record: dict[str, Any]) -> None:
         if self._handle is None:
@@ -154,6 +165,32 @@ class CheckpointJournal:
                 "error": error,
             }
         )
+
+    # -- maintenance ----------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the journal to one record per fingerprint.
+
+        A long-lived journal accretes superseded records (a failure
+        later overwritten by a success keeps both lines) and the odd
+        truncated line from a crash.  The in-memory map is already the
+        last-record-wins truth, so compaction just serialises it back:
+        into a temp file, fsynced, then atomically ``os.replace``-d over
+        the original — a crash mid-compaction leaves the old journal
+        intact.  Returns the number of raw lines dropped.
+        """
+        self.close()
+        if not self.path.exists():
+            return 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw_lines = sum(1 for line in handle if line.strip())
+        tmp = self.path.with_name(f"{self.path.name}.compact.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in self._records.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        return raw_lines - len(self._records)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

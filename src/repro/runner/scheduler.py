@@ -1,0 +1,345 @@
+"""Sharded, store-aware campaign scheduling with work-stealing.
+
+A campaign is a list of pure, fingerprinted tasks; the
+:class:`~repro.runner.supervisor.SupervisedExecutor` already makes one
+worker pool survive crashes, hangs and restarts.  This module scales
+that out *sideways*: :class:`ShardedScheduler` splits the fingerprinted
+task space across ``shards`` independent supervised executors (each
+with its own worker pool), lets idle shards steal queued work from
+busy ones, and keeps the result list bit-identical to the single-pool
+path at any shard count — every task is a pure function of its
+descriptor, so *where* it runs can never change *what* it returns.
+
+The scheduler is also the store's enforcement point:
+
+* before anything is queued, every fingerprint is looked up in the
+  attached :class:`~repro.store.CampaignStore` and hits go straight
+  into their result slots — only missing cells are scheduled;
+* as chunks complete, fresh results stream back into the store, so a
+  concurrent or later campaign never recomputes them.
+
+Supervision composes unchanged: each shard owns a full
+``SupervisedExecutor`` (retries, deadlines, pool respawn, serial
+degradation), a shared checkpoint journal is serialised behind
+:class:`LockedJournal`, and fault plans key on task fingerprints — not
+on placement — so seeded chaos runs are shard-count-independent too.
+
+Telemetry lands under ``scheduler.*``: ``scheduler.tasks``,
+``scheduler.store_hits``, ``scheduler.executed``, ``scheduler.steals``
+and ``scheduler.stolen_tasks``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from repro.bgp.engine import PropagationEngine
+from repro.exceptions import SimulationError
+from repro.runner.cache import BaselineCache
+from repro.runner.checkpoint import task_fingerprint
+from repro.runner.executor import resolve_workers
+from repro.runner.supervisor import RetryPolicy, SupervisedExecutor, TaskFailure
+from repro.runner.tasks import WorkerSpec
+from repro.telemetry.metrics import RunMetrics
+
+__all__ = ["LockedJournal", "ShardedScheduler"]
+
+_UNSET = object()
+#: duck-typed miss sentinel handshake with ``CampaignStore.get`` — the
+#: runner layer deliberately does not import :mod:`repro.store`.
+_MISS = _UNSET
+
+
+class LockedJournal:
+    """Thread-safe facade over a journal shared by shard executors.
+
+    The journal protocol (``completed`` / ``result_for`` /
+    ``record_success`` / ``record_failure``) is consumed concurrently
+    by every shard's executor; one lock serialises the underlying
+    file-backed implementation, which was written for single-threaded
+    runs.  ``close`` stays with the owning caller.
+    """
+
+    def __init__(self, journal: Any) -> None:
+        self._journal = journal
+        self._lock = threading.Lock()
+
+    def completed(self, fingerprint: str) -> bool:
+        with self._lock:
+            return self._journal.completed(fingerprint)
+
+    def result_for(self, fingerprint: str) -> Any:
+        with self._lock:
+            return self._journal.result_for(fingerprint)
+
+    def failed(self, fingerprint: str) -> bool:
+        with self._lock:
+            return self._journal.failed(fingerprint)
+
+    def record_success(self, fingerprint: str, result: Any) -> None:
+        with self._lock:
+            self._journal.record_success(fingerprint, result)
+
+    def record_failure(
+        self, fingerprint: str, *, kind: str, attempts: int, error: str
+    ) -> None:
+        with self._lock:
+            self._journal.record_failure(
+                fingerprint, kind=kind, attempts=attempts, error=error
+            )
+
+    def close(self) -> None:
+        """No-op: the wrapped journal's lifetime stays with its owner."""
+
+
+class _QueuedTask:
+    __slots__ = ("index", "task", "fp")
+
+    def __init__(self, index: int, task: Any, fp: str) -> None:
+        self.index = index
+        self.task = task
+        self.fp = fp
+
+
+class ShardedScheduler:
+    """Fan a fingerprinted task list over store-deduped, stealing shards.
+
+    ``shards=1`` degenerates to exactly the supervised single-pool path
+    (optionally adopting a caller ``engine``/``cache`` when serial, as
+    the sweep layer does), with the store consult/stream-back layered
+    on top.  ``workers`` is the pool size *per shard*
+    (``None``/``0``/``1`` = serial in-process shards).
+
+    ``store`` is duck-typed (``get(fp, default)`` / ``put(fp, value)``
+    / ``missing``): anything content-addressed by the same task
+    fingerprints works.  ``prepare(ctx, tasks)`` is an optional warmup
+    hook invoked with the single-shard serial context and the tasks
+    that will actually run — the sweep layer uses it to batch-prefetch
+    baseline families for *missing* cells only, so a fully warm store
+    triggers no engine work at all.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        *,
+        shards: int = 1,
+        workers: int | None = None,
+        retry: RetryPolicy | None = None,
+        store: Any = None,
+        journal: Any = None,
+        fingerprint_context: str | None = None,
+        metrics: RunMetrics | None = None,
+        engine: PropagationEngine | None = None,
+        cache: BaselineCache | None = None,
+        prepare: Callable[[Any, list[Any]], None] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        if engine is not None and (shards != 1 or resolve_workers(workers) != 1):
+            raise SimulationError(
+                "engine/cache adoption requires shards=1 and serial workers; "
+                "sharded and pooled schedulers build their own contexts"
+            )
+        self.spec = spec
+        self.shards = shards
+        self.workers = workers
+        self.retry = retry
+        self.store = store
+        self.fingerprint_context = fingerprint_context
+        self.metrics = metrics
+        self.prepare = prepare
+        self._engine = engine
+        self._cache = cache
+        self._journal = journal
+        if journal is not None and shards > 1:
+            self._journal = LockedJournal(journal)
+        self._lock = threading.Lock()
+        self._executors: dict[int, SupervisedExecutor] = {}
+        self._shard_metrics: dict[int, RunMetrics] = {}
+        self._prev_engine_metrics: Any = _UNSET
+        self._prev_cache_metrics: Any = _UNSET
+        self._closed = False
+        #: counters of the most recent :meth:`run`, for callers without
+        #: a metrics registry (tests, CLI summaries).
+        self.stats: dict[str, int] = {}
+
+    # -- telemetry ------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        registry = self.metrics
+        if registry is not None and registry.enabled and n:
+            registry.count(name, n)
+
+    # -- executors ------------------------------------------------------
+    def _enabled(self) -> bool:
+        return self.metrics is not None and self.metrics.enabled
+
+    def _executor(self, shard: int) -> SupervisedExecutor:
+        """Build shard executors lazily: an all-hits run never compiles
+        a topology, and only shards that actually receive work pay for
+        a context."""
+        executor = self._executors.get(shard)
+        if executor is not None:
+            return executor
+        if self.shards == 1:
+            registry = self.metrics
+            if resolve_workers(self.workers) != 1 and not self._enabled():
+                registry = None
+            if self._engine is not None and self._prev_engine_metrics is _UNSET:
+                self._prev_engine_metrics = self._engine.metrics
+                if self._cache is not None:
+                    self._prev_cache_metrics = self._cache.metrics
+        else:
+            registry = None
+            if self._enabled():
+                registry = self._shard_metrics.setdefault(shard, RunMetrics())
+        executor = SupervisedExecutor(
+            self.spec,
+            workers=self.workers,
+            engine=self._engine if self.shards == 1 else None,
+            cache=self._cache if self.shards == 1 else None,
+            metrics=registry,
+            retry=self.retry,
+            journal=self._journal,
+            fingerprint_context=self.fingerprint_context,
+        )
+        self._executors[shard] = executor
+        return executor
+
+    # -- entry point ----------------------------------------------------
+    def run(self, tasks: Sequence[Any]) -> list[Any]:
+        """Execute ``tasks``; results in task order, store hits replayed."""
+        if self._closed:
+            raise SimulationError(
+                "ShardedScheduler is closed; build a new scheduler for "
+                "further batches"
+            )
+        tasks = list(tasks)
+        results: list[Any] = [_UNSET] * len(tasks)
+        todo: list[_QueuedTask] = []
+        for index, task in enumerate(tasks):
+            fp = task_fingerprint(task, self.fingerprint_context)
+            if self.store is not None:
+                value = self.store.get(fp, _MISS)
+                if value is not _MISS:
+                    results[index] = value
+                    continue
+            todo.append(_QueuedTask(index, task, fp))
+        hits = len(tasks) - len(todo)
+        self.stats = {
+            "tasks": len(tasks),
+            "store_hits": hits,
+            "executed": len(todo),
+            "steals": 0,
+            "stolen_tasks": 0,
+        }
+        self._count("scheduler.tasks", len(tasks))
+        self._count("scheduler.store_hits", hits)
+        self._count("scheduler.executed", len(todo))
+        if todo:
+            if self.shards == 1:
+                self._run_single(todo, results)
+            else:
+                self._run_sharded(todo, results)
+        assert all(value is not _UNSET for value in results)
+        return results
+
+    def _store_completed(self, chunk: list[_QueuedTask], values: list[Any]) -> None:
+        for queued, value in zip(chunk, values):
+            if self.store is not None and not isinstance(value, TaskFailure):
+                self.store.put(queued.fp, value)
+
+    # -- degenerate path: one shard == the plain supervised executor ----
+    def _run_single(self, todo: list[_QueuedTask], results: list[Any]) -> None:
+        executor = self._executor(0)
+        if self.prepare is not None and executor.context is not None:
+            self.prepare(executor.context, [queued.task for queued in todo])
+        values = executor.run([queued.task for queued in todo])
+        for queued, value in zip(todo, values):
+            results[queued.index] = value
+        self._store_completed(todo, values)
+
+    # -- sharded path ---------------------------------------------------
+    def _take(self, queues: list[deque], shard: int) -> list[_QueuedTask]:
+        """Drain the shard's own queue, or steal half the longest one.
+
+        Own work comes off in order; a steal takes the *tail* half of
+        the most loaded queue (classic work-stealing discipline: the
+        owner keeps the head it is about to run).
+        """
+        with self._lock:
+            own = queues[shard]
+            if own:
+                chunk = list(own)
+                own.clear()
+                return chunk
+            victim = max(range(len(queues)), key=lambda q: len(queues[q]))
+            loot = queues[victim]
+            if not loot:
+                return []
+            take = (len(loot) + 1) // 2
+            stolen = [loot.pop() for _ in range(take)]
+            stolen.reverse()
+            self.stats["steals"] += 1
+            self.stats["stolen_tasks"] += take
+            self._count("scheduler.steals")
+            self._count("scheduler.stolen_tasks", take)
+            return stolen
+
+    def _run_sharded(self, todo: list[_QueuedTask], results: list[Any]) -> None:
+        queues: list[deque] = [deque() for _ in range(self.shards)]
+        for position, queued in enumerate(todo):
+            queues[position % self.shards].append(queued)
+        errors: list[BaseException] = []
+
+        def shard_loop(shard: int) -> None:
+            try:
+                executor = self._executor(shard)
+                while True:
+                    chunk = self._take(queues, shard)
+                    if not chunk:
+                        return
+                    values = executor.run([queued.task for queued in chunk])
+                    with self._lock:
+                        for queued, value in zip(chunk, values):
+                            results[queued.index] = value
+                        self._store_completed(chunk, values)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                with self._lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=shard_loop, args=(shard,), name=f"repro-shard-{shard}"
+            )
+            for shard in range(min(self.shards, len(todo)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._enabled():
+            for registry in self._shard_metrics.values():
+                self.metrics.merge(registry.take())
+        if errors:
+            raise errors[0]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors.values():
+            executor.close()
+        if self._prev_engine_metrics is not _UNSET and self._engine is not None:
+            self._engine.metrics = self._prev_engine_metrics
+        if self._prev_cache_metrics is not _UNSET and self._cache is not None:
+            self._cache.metrics = self._prev_cache_metrics
+
+    def __enter__(self) -> "ShardedScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,396 @@
+"""Content-addressed campaign result store.
+
+Every runner task is a pure function of its frozen descriptor, and
+:func:`~repro.runner.checkpoint.task_fingerprint` already gives each
+descriptor a stable sha256 identity.  :class:`CampaignStore` turns that
+identity into an address: one append-only JSONL record log per store,
+one record per fingerprint, so a grid cell converged by *any* campaign,
+sweep or figure is never recomputed by a later one — cross-campaign
+dedupe instead of per-run throwaway journals.
+
+Durability model
+----------------
+Records are appended with a single ``write(2)`` on an ``O_APPEND``
+descriptor, so concurrent writer *processes* interleave whole records,
+never bytes (the payload digest in each record catches torn writes on
+filesystems that do not serialise large appends).  The in-memory index
+is rebuilt by scanning the log on open and extended incrementally by
+:meth:`CampaignStore.refresh`, which picks up records appended by other
+processes since the last scan.  A crash mid-append leaves at most one
+unterminated line; the next writer terminates it (the fragment then
+parses as one garbled record and is skipped) so the log never cascades
+corruption.
+
+Records carry a schema version; a store written by a future layout is
+skipped record-by-record rather than exploding, and :meth:`compact`
+rewrites the log to one valid record per fingerprint (first record
+wins — payloads for the same fingerprint are identical by purity).
+Compaction rewrites into a temp file and ``os.replace``-s it into
+place, so readers never observe a half-written log; run it quiescent
+(no concurrent appenders), like any log rotation.
+
+Payloads are pickles (base64-armoured inside the JSON record), exactly
+like :class:`~repro.runner.checkpoint.CheckpointJournal` — a store is a
+private artefact of the machines that share it; do not load stores
+from untrusted sources.
+
+Telemetry lands on the attached registry under ``store.*``:
+``store.{hits,misses,puts,bytes,dedup_writes,compactions}`` plus
+hygiene counters for corrupt/stale/duplicate records seen while
+scanning.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import SimulationError
+from repro.telemetry.metrics import RunMetrics
+
+__all__ = ["MISSING", "SCHEMA_VERSION", "CampaignStore", "decode_record", "encode_record"]
+
+#: bump when the record layout changes; readers skip newer records.
+SCHEMA_VERSION = 1
+
+_LOG_NAME = "records.jsonl"
+
+#: index placeholder for a fingerprint we appended (or deduped against)
+#: but whose byte range has not been located by a scan yet.
+_PENDING = (-1, -1)
+
+
+class _Missing:
+    """Canonical miss sentinel (``None`` is a valid stored payload)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
+
+def _encode_payload(result: Any) -> str:
+    raw = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _decode_payload(payload: str) -> Any:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+def encode_record(fingerprint: str, result: Any, *, kind: str = "task") -> bytes:
+    """One newline-terminated record line for ``fingerprint``.
+
+    ``sha`` digests the armoured payload so a torn append (or bit rot)
+    is detected on read instead of deserialising garbage.
+    """
+    payload = _encode_payload(result)
+    record = {
+        "v": SCHEMA_VERSION,
+        "fp": fingerprint,
+        "kind": kind,
+        "schema": f"{type(result).__module__}.{type(result).__qualname__}",
+        "payload": payload,
+        "sha": hashlib.sha256(payload.encode("ascii")).hexdigest(),
+    }
+    return (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_record(line: bytes) -> dict[str, Any] | None:
+    """Parse and verify one record line; ``None`` for anything unusable.
+
+    Unusable covers truncated JSON, non-record JSON, records from a
+    newer :data:`SCHEMA_VERSION`, and payloads whose digest does not
+    match (torn write) — callers count, skip, and keep scanning.
+    """
+    try:
+        record = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    if record.get("v") != SCHEMA_VERSION:
+        return None
+    fingerprint = record.get("fp")
+    payload = record.get("payload")
+    digest = record.get("sha")
+    if not isinstance(fingerprint, str) or not isinstance(payload, str):
+        return None
+    if digest != hashlib.sha256(payload.encode("ascii")).hexdigest():
+        return None
+    return record
+
+
+class CampaignStore:
+    """Append-only content-addressed result store under a directory.
+
+    ``root`` is created if missing; the log lives at
+    ``root/records.jsonl``.  Safe for concurrent use by threads of one
+    process (internal lock) and by multiple writer processes (atomic
+    ``O_APPEND`` record appends; see the module docstring).
+    """
+
+    def __init__(self, root: str | Path, *, metrics: RunMetrics | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / _LOG_NAME
+        #: registry ``store.*`` telemetry lands on (attach/detach freely).
+        self.metrics = metrics
+        self._lock = threading.RLock()
+        #: fingerprint -> (offset, length) of its first valid record.
+        self._index: dict[str, tuple[int, int]] = {}
+        self._kinds: dict[str, str] = {}
+        #: bytes of the log consumed as complete lines so far.
+        self._watermark = 0
+        #: a scan saw unterminated bytes at EOF (crashed append); the
+        #: next append writes a leading newline to fence them off.
+        self._dangling = False
+        self._append_fd: int | None = None
+        self._read_fd: int | None = None
+        self._closed = False
+        self.refresh()
+
+    # -- telemetry ------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        registry = self.metrics
+        if registry is not None and registry.enabled and n:
+            registry.count(name, n)
+
+    # -- file descriptors ----------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SimulationError("CampaignStore is closed; open a new store")
+
+    def _ensure_read_fd(self) -> int | None:
+        if self._read_fd is None:
+            try:
+                self._read_fd = os.open(self.path, os.O_RDONLY)
+            except FileNotFoundError:
+                return None
+        return self._read_fd
+
+    def _ensure_append_fd(self) -> int:
+        if self._append_fd is None:
+            self._append_fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+        return self._append_fd
+
+    def _drop_fds(self) -> None:
+        for fd in (self._append_fd, self._read_fd):
+            if fd is not None:
+                os.close(fd)
+        self._append_fd = None
+        self._read_fd = None
+
+    # -- scanning -------------------------------------------------------
+    def refresh(self) -> int:
+        """Scan log bytes appended since the last scan; return new records.
+
+        This is how one store instance observes records written by
+        other processes (or its own appends, whose offsets are only
+        known once scanned).
+        """
+        with self._lock:
+            self._check_open()
+            fd = self._ensure_read_fd()
+            if fd is None:
+                return 0
+            size = os.fstat(fd).st_size
+            if size <= self._watermark:
+                return 0
+            data = os.pread(fd, size - self._watermark, self._watermark)
+            added = 0
+            consumed = 0
+            while True:
+                newline = data.find(b"\n", consumed)
+                if newline < 0:
+                    break
+                line = data[consumed:newline]
+                offset = self._watermark + consumed
+                length = newline - consumed
+                consumed = newline + 1
+                record = decode_record(line)
+                if record is None:
+                    self._count("store.corrupt_records")
+                    continue
+                fingerprint = record["fp"]
+                existing = self._index.get(fingerprint)
+                if existing is not None and existing != _PENDING:
+                    # Two processes raced the same cell; purity makes the
+                    # payloads identical, so the first record stays law.
+                    self._count("store.duplicate_records")
+                    continue
+                if existing is None:
+                    added += 1
+                self._index[fingerprint] = (offset, length)
+                self._kinds[fingerprint] = str(record.get("kind", "task"))
+            self._watermark += consumed
+            self._dangling = consumed < len(data)
+            return added
+
+    # -- reading --------------------------------------------------------
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._index:
+                return True
+            self.refresh()
+            return fingerprint in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def fingerprints(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._index))
+
+    def get(self, fingerprint: str, default: Any = MISSING) -> Any:
+        """The stored result for ``fingerprint``, or ``default``.
+
+        Counts ``store.hits`` / ``store.misses``; a miss re-scans the
+        log first so records landed by concurrent writers are served.
+        """
+        with self._lock:
+            self._check_open()
+            entry = self._index.get(fingerprint)
+            if entry is None or entry == _PENDING:
+                self.refresh()
+                entry = self._index.get(fingerprint)
+            if entry is None or entry == _PENDING:
+                self._count("store.misses")
+                return default
+            offset, length = entry
+            fd = self._ensure_read_fd()
+            assert fd is not None
+            record = decode_record(os.pread(fd, length, offset))
+            if record is None:
+                # Only possible if the log was rewritten underneath us.
+                raise SimulationError(
+                    f"store index out of sync with {self.path} at offset {offset}; "
+                    "reopen the store"
+                )
+            self._count("store.hits")
+            return _decode_payload(record["payload"])
+
+    def kind_of(self, fingerprint: str) -> str | None:
+        with self._lock:
+            return self._kinds.get(fingerprint)
+
+    def missing(self, fingerprints: Any) -> list[str]:
+        """The subset of ``fingerprints`` with no stored record."""
+        with self._lock:
+            self.refresh()
+            return [fp for fp in fingerprints if fp not in self._index]
+
+    # -- writing --------------------------------------------------------
+    def put(self, fingerprint: str, result: Any, *, kind: str = "task") -> bool:
+        """Append one record; ``False`` when the fingerprint is already stored.
+
+        First write wins — content addressing plus task purity make a
+        second payload for the same fingerprint identical by
+        construction, so dedup skips the append entirely
+        (``store.dedup_writes``).
+        """
+        with self._lock:
+            self._check_open()
+            if fingerprint in self._index:
+                self._count("store.dedup_writes")
+                return False
+            line = encode_record(fingerprint, result, kind=kind)
+            if self._dangling:
+                line = b"\n" + line
+                self._dangling = False
+            os.write(self._ensure_append_fd(), line)
+            self._index[fingerprint] = _PENDING
+            self._kinds[fingerprint] = kind
+            self._count("store.puts")
+            self._count("store.bytes", len(line))
+            return True
+
+    # -- maintenance ----------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the log to one valid record per fingerprint.
+
+        Drops duplicate, corrupt and stale-version lines; returns the
+        number of bytes reclaimed.  Requires a quiescent store — no
+        concurrent appenders (their racing appends would be lost by the
+        rewrite).
+        """
+        with self._lock:
+            self._check_open()
+            fd = self._ensure_read_fd()
+            if fd is None:
+                return 0
+            self.refresh()
+            size = os.fstat(fd).st_size
+            data = os.pread(fd, size, 0)
+            seen: set[str] = set()
+            kept: list[bytes] = []
+            for line in data.split(b"\n"):
+                if not line:
+                    continue
+                record = decode_record(line)
+                if record is None or record["fp"] in seen:
+                    continue
+                seen.add(record["fp"])
+                kept.append(line + b"\n")
+            tmp = self.path.with_name(f"{_LOG_NAME}.compact.{os.getpid()}.tmp")
+            out = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(out, b"".join(kept))
+                os.fsync(out)
+            finally:
+                os.close(out)
+            os.replace(tmp, self.path)
+            self._drop_fds()
+            self._index.clear()
+            self._kinds.clear()
+            self._watermark = 0
+            self._dangling = False
+            reclaimed = size - sum(len(line) for line in kept)
+            self.refresh()
+            self._count("store.compactions")
+            self._count("store.compacted_bytes", reclaimed)
+            return reclaimed
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time summary (records, bytes on disk, per-kind split)."""
+        with self._lock:
+            self.refresh()
+            kinds: dict[str, int] = {}
+            for kind in self._kinds.values():
+                kinds[kind] = kinds.get(kind, 0) + 1
+            try:
+                size = self.path.stat().st_size
+            except FileNotFoundError:
+                size = 0
+            return {
+                "path": str(self.path),
+                "records": len(self._index),
+                "bytes": size,
+                "kinds": dict(sorted(kinds.items())),
+            }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._drop_fds()
+            self._closed = True
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

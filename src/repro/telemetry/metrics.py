@@ -67,6 +67,11 @@ CACHE_SHAPE_PREFIXES = (
     "engine.delta.",
     "engine.vectorized.",
     "runner.",
+    # The campaign store and its scheduler measure work *avoided*
+    # (dedupe hits, steals, bytes persisted), which depends on what
+    # earlier runs left in the store — run-shaped by definition.
+    "scheduler.",
+    "store.",
 )
 
 

@@ -1,0 +1,117 @@
+"""Golden fingerprints: the store's addresses must never drift.
+
+The campaign store keys every record by
+:func:`~repro.runner.checkpoint.task_fingerprint` (task level) and
+:func:`~repro.store.experiment_fingerprint` (figure level).  A drift in
+either — a renamed task class, a reordered dataclass field, a changed
+default — silently orphans every record in every existing store: old
+results stop being found and everything recomputes.  These tests pin
+the exact sha256 digests for one representative task per task type and
+for representative registered experiments; if one fails, either restore
+the identity or ship a store migration and bump
+:data:`repro.store.SCHEMA_VERSION` deliberately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    CampaignPairTask,
+    DeploymentPointTask,
+    SweepPointTask,
+    task_fingerprint,
+)
+from repro.store import experiment_fingerprint
+
+#: one representative task per task type (and per security-policy
+#: variant, since those fields widen the address space).
+GOLDEN_TASKS = {
+    # padding sweeps / pair grids / exhaustive grids all schedule this
+    SweepPointTask(victim=10, attacker=20, padding=3): (
+        "9896b4837c3ae380b367d24b126ee31c0cf046e9e132a3f668be05a39ef8c08c"
+    ),
+    SweepPointTask(victim=10, attacker=20, padding=1): (
+        "1c7027d9e5c7ad195008276bce43812cc5c2c438ed72a93a994c4311235b53e5"
+    ),
+    # secpol deployment sweeps
+    DeploymentPointTask(victim=10, attacker=20, padding=3): (
+        "a048f24a8a7df6f5d18b44262a25045ba51b26ac75cea9bdd245bc33ca800018"
+    ),
+    DeploymentPointTask(
+        victim=10, attacker=20, padding=3, policy="aspa", fraction=0.5
+    ): "1181595cda193c2c9a450d1acbd078e7755943cdead3ff083e667f0f1e268ee5",
+    DeploymentPointTask(
+        victim=10,
+        attacker=20,
+        padding=3,
+        policy="rov",
+        fraction=0.25,
+        strategy="random",
+        seed=7,
+    ): "9cb338c9a3fd85222134ea01da4286fcc65dd534ae879c20e21a67ad1974ccaa",
+    # mitigation / detection campaigns
+    CampaignPairTask(attacker=20, victim=10, padding=3): (
+        "39b58f4e307f58e68e6a74318ff7667cae40d032e86df139599016e64574e0a3"
+    ),
+}
+
+#: the same tasks addressed inside a named topology context.
+GOLDEN_CONTEXTUAL = {
+    SweepPointTask(victim=10, attacker=20, padding=3): (
+        "d365d09737f873bdddbd2411c5cb717cd4d8c5c0da8106d5bdb92e97560d9d1b"
+    ),
+    DeploymentPointTask(victim=10, attacker=20, padding=3): (
+        "cc169c76a485debece533db21b4aa95a21b7489569df4a30c0780075a595a7f9"
+    ),
+    CampaignPairTask(attacker=20, victim=10, padding=3): (
+        "4e7e2ffb8098669d95029f963c9402eff50fe2bd8fb8d5b0ed2f161cd4416615"
+    ),
+}
+
+#: experiment-level addresses for registry-default configs.
+GOLDEN_EXPERIMENTS = {
+    "table1": "5c79552ae4b0621ab439ccae4f413318a346a8ac68b77a033d04ac7326a048e8",
+    "fig09": "b4515067f5f54f8e3e84a279655254b8091828d0a5f3383ff14a9e7c63553cf1",
+    "figD2": "d6186085f964a2c61e2f54819455d75684a560c4e6583dc92da5b31d79bd7430",
+    "figM1": "391154dadc07a4e0864ed4675d4ce1601cf633c1dbb89120d3bc3ff2f0a7b81f",
+}
+
+
+class TestTaskFingerprintGolden:
+    @pytest.mark.parametrize(
+        "task,expected",
+        GOLDEN_TASKS.items(),
+        ids=[type(task).__name__ + f"-{i}" for i, task in enumerate(GOLDEN_TASKS)],
+    )
+    def test_pinned_task_digest(self, task, expected):
+        assert task_fingerprint(task) == expected
+
+    @pytest.mark.parametrize(
+        "task,expected",
+        GOLDEN_CONTEXTUAL.items(),
+        ids=[type(task).__name__ for task in GOLDEN_CONTEXTUAL],
+    )
+    def test_pinned_contextual_digest(self, task, expected):
+        assert task_fingerprint(task, "topology:v1") == expected
+
+    def test_context_always_changes_the_address(self):
+        for task, plain in GOLDEN_TASKS.items():
+            assert task_fingerprint(task, "topology:v1") != plain
+
+    def test_all_golden_addresses_distinct(self):
+        digests = list(GOLDEN_TASKS.values()) + list(GOLDEN_CONTEXTUAL.values())
+        assert len(set(digests)) == len(digests)
+
+
+class TestExperimentFingerprintGolden:
+    @pytest.mark.parametrize(
+        "experiment_id,expected",
+        GOLDEN_EXPERIMENTS.items(),
+        ids=list(GOLDEN_EXPERIMENTS),
+    )
+    def test_pinned_experiment_digest(self, experiment_id, expected):
+        from repro.experiments import REGISTRY
+
+        factory, _ = REGISTRY[experiment_id]
+        assert experiment_fingerprint(experiment_id, factory()) == expected

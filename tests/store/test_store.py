@@ -1,0 +1,218 @@
+"""CampaignStore: roundtrips, dedupe, corruption tolerance, compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.runner import SweepPointTask, task_fingerprint
+from repro.store import MISSING, SCHEMA_VERSION, CampaignStore
+from repro.store.store import decode_record, encode_record
+from repro.telemetry.metrics import RunMetrics
+
+
+def _fp(padding: int) -> str:
+    return task_fingerprint(SweepPointTask(victim=10, attacker=20, padding=padding))
+
+
+class TestRoundtrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        with CampaignStore(tmp_path / "store") as store:
+            payload = {"rows": [(1, 0.5), (2, 0.75)], "note": "hello"}
+            assert store.put(_fp(1), payload) is True
+            assert store.get(_fp(1)) == payload
+
+    def test_none_is_a_valid_payload(self, tmp_path):
+        """The miss sentinel is MISSING, never None."""
+        with CampaignStore(tmp_path / "store") as store:
+            store.put(_fp(1), None)
+            assert store.get(_fp(1)) is None
+            assert store.get(_fp(2)) is MISSING
+            assert store.get(_fp(2), default="fallback") == "fallback"
+
+    def test_contains_len_fingerprints_kind(self, tmp_path):
+        with CampaignStore(tmp_path / "store") as store:
+            store.put(_fp(1), 1.0)
+            store.put(_fp(2), 2.0, kind="experiment")
+            assert _fp(1) in store
+            assert _fp(3) not in store
+            assert len(store) == 2
+            assert set(store.fingerprints()) == {_fp(1), _fp(2)}
+            assert store.kind_of(_fp(1)) == "task"
+            assert store.kind_of(_fp(2)) == "experiment"
+            assert store.missing([_fp(1), _fp(2), _fp(3)]) == [_fp(3)]
+
+    def test_records_survive_reopen(self, tmp_path):
+        root = tmp_path / "store"
+        with CampaignStore(root) as store:
+            store.put(_fp(1), "alpha")
+        with CampaignStore(root) as store:
+            assert store.get(_fp(1)) == "alpha"
+
+    def test_cross_instance_visibility_via_refresh(self, tmp_path):
+        """A second open handle observes appends made by the first."""
+        root = tmp_path / "store"
+        writer = CampaignStore(root)
+        reader = CampaignStore(root)
+        try:
+            writer.put(_fp(1), "from-writer")
+            assert reader.get(_fp(1)) == "from-writer"
+        finally:
+            writer.close()
+            reader.close()
+
+
+class TestDedupe:
+    def test_second_put_is_a_noop(self, tmp_path):
+        metrics = RunMetrics()
+        with CampaignStore(tmp_path / "store", metrics=metrics) as store:
+            assert store.put(_fp(1), "first") is True
+            size = store.path.stat().st_size
+            assert store.put(_fp(1), "first") is False
+            assert store.path.stat().st_size == size
+            assert metrics.counter_value("store.dedup_writes") == 1
+            assert metrics.counter_value("store.puts") == 1
+
+    def test_duplicate_records_on_disk_first_wins(self, tmp_path):
+        """Two racing processes may both append a record for the same
+        fingerprint; the scan keeps the first and counts the rest."""
+        root = tmp_path / "store"
+        with CampaignStore(root) as store:
+            store.put(_fp(1), "first")
+        with open(root / "records.jsonl", "ab") as handle:
+            handle.write(encode_record(_fp(1), "second"))
+        metrics = RunMetrics()
+        with CampaignStore(root, metrics=metrics) as store:
+            assert store.get(_fp(1)) == "first"
+            assert len(store) == 1
+            assert metrics.counter_value("store.duplicate_records") == 1
+
+
+class TestCorruptionTolerance:
+    def test_truncated_tail_is_skipped_then_fenced(self, tmp_path):
+        """A crash mid-append leaves an unterminated line; readers skip
+        it and the next append fences it off with a newline."""
+        root = tmp_path / "store"
+        with CampaignStore(root) as store:
+            store.put(_fp(1), "whole")
+        with open(root / "records.jsonl", "ab") as handle:
+            handle.write(encode_record(_fp(2), "torn")[:40])
+        with CampaignStore(root) as store:
+            assert store.get(_fp(1)) == "whole"
+            assert store.get(_fp(2)) is MISSING
+            store.put(_fp(3), "after-crash")
+            assert store.get(_fp(3)) == "after-crash"
+        # the fragment became one garbled line, fenced by the new append
+        with CampaignStore(root) as store:
+            assert set(store.fingerprints()) == {_fp(1), _fp(3)}
+
+    def test_newer_schema_records_are_skipped(self, tmp_path):
+        root = tmp_path / "store"
+        with CampaignStore(root) as store:
+            store.put(_fp(1), "current")
+        line = json.loads(encode_record(_fp(2), "future").decode())
+        line["v"] = SCHEMA_VERSION + 1
+        with open(root / "records.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(line) + "\n")
+        with CampaignStore(root) as store:
+            assert store.get(_fp(1)) == "current"
+            assert store.get(_fp(2)) is MISSING
+
+    def test_payload_digest_mismatch_is_skipped(self, tmp_path):
+        root = tmp_path / "store"
+        record = json.loads(encode_record(_fp(1), "tampered").decode())
+        record["sha"] = "0" * 64
+        root.mkdir()
+        (root / "records.jsonl").write_text(json.dumps(record) + "\n")
+        metrics = RunMetrics()
+        with CampaignStore(root, metrics=metrics) as store:
+            assert store.get(_fp(1)) is MISSING
+            assert metrics.counter_value("store.corrupt_records") == 1
+
+    def test_decode_record_rejects_garbage(self):
+        assert decode_record(b"not json") is None
+        assert decode_record(b"[1, 2, 3]") is None
+        assert decode_record(b'{"fp": 5, "payload": "x"}') is None
+        valid = encode_record(_fp(1), "ok").rstrip(b"\n")
+        assert decode_record(valid) is not None
+        assert decode_record(valid[: len(valid) // 2]) is None
+
+
+class TestCompact:
+    def test_compact_drops_duplicates_and_garbage(self, tmp_path):
+        root = tmp_path / "store"
+        with CampaignStore(root) as store:
+            store.put(_fp(1), "one")
+            store.put(_fp(2), "two")
+        log = root / "records.jsonl"
+        with open(log, "ab") as handle:
+            handle.write(encode_record(_fp(1), "dupe"))
+            handle.write(b"garbage line\n")
+        dirty = log.stat().st_size
+        metrics = RunMetrics()
+        with CampaignStore(root, metrics=metrics) as store:
+            reclaimed = store.compact()
+            assert reclaimed > 0
+            assert log.stat().st_size == dirty - reclaimed
+            # contents intact after the rewrite
+            assert store.get(_fp(1)) == "one"
+            assert store.get(_fp(2)) == "two"
+            assert len(store) == 2
+            assert metrics.counter_value("store.compactions") == 1
+
+    def test_compact_on_empty_store(self, tmp_path):
+        with CampaignStore(tmp_path / "store") as store:
+            assert store.compact() == 0
+
+    def test_store_usable_after_compact(self, tmp_path):
+        with CampaignStore(tmp_path / "store") as store:
+            store.put(_fp(1), "one")
+            store.compact()
+            store.put(_fp(2), "two")
+            assert store.get(_fp(2)) == "two"
+
+
+class TestTelemetryAndLifecycle:
+    def test_hit_miss_put_bytes_counters(self, tmp_path):
+        metrics = RunMetrics()
+        with CampaignStore(tmp_path / "store", metrics=metrics) as store:
+            store.get(_fp(1))
+            store.put(_fp(1), "value")
+            store.get(_fp(1))
+            store.get(_fp(1))
+            assert metrics.counter_value("store.misses") == 1
+            assert metrics.counter_value("store.hits") == 2
+            assert metrics.counter_value("store.puts") == 1
+            assert metrics.counter_value("store.bytes") == store.path.stat().st_size
+
+    def test_store_counters_excluded_from_deterministic_snapshot(self, tmp_path):
+        """store.* measures work avoided — run-shaped, so it must not
+        leak into bit-identity comparisons."""
+        metrics = RunMetrics()
+        with CampaignStore(tmp_path / "store", metrics=metrics) as store:
+            store.put(_fp(1), "value")
+            store.get(_fp(1))
+        snapshot = metrics.deterministic_snapshot()
+        assert not any(name.startswith("store.") for name in snapshot["counters"])
+        assert metrics.counter_value("store.hits") == 1
+
+    def test_stats(self, tmp_path):
+        with CampaignStore(tmp_path / "store") as store:
+            store.put(_fp(1), "task-record")
+            store.put(_fp(2), "figure", kind="experiment")
+            stats = store.stats()
+            assert stats["records"] == 2
+            assert stats["kinds"] == {"experiment": 1, "task": 1}
+            assert stats["bytes"] == store.path.stat().st_size
+
+    def test_closed_store_refuses_use(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.put(_fp(1), "value")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(SimulationError, match="closed"):
+            store.get(_fp(1))
+        with pytest.raises(SimulationError, match="closed"):
+            store.put(_fp(2), "value")

@@ -15,6 +15,11 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 
+#: every tree that accumulates bytecode caches; ``benchmarks/`` is not
+#: a package, so a stale cache there survives `pytest --cache-clear`
+#: and shadows renamed benchmark modules silently.
+BYTECODE_TREES = ("src", "tests", "benchmarks")
+
 
 def _git_files() -> list[str]:
     try:
@@ -52,3 +57,32 @@ def test_pyproject_excludes_bytecode_from_distributions():
     assert "__pycache__" in pyproject.split(
         "[tool.setuptools.exclude-package-data]"
     )[1]
+
+
+def test_no_orphaned_bytecode_on_disk():
+    """Every cached ``.pyc`` must still have its source ``.py``.
+
+    An orphan means the source was renamed or deleted but its bytecode
+    lingers — ``benchmarks/`` grew exactly such a stale cache once —
+    and an orphaned module stays importable, masking the removal."""
+    orphans = []
+    for tree in BYTECODE_TREES:
+        for cached in (REPO / tree).rglob("__pycache__/*.pyc"):
+            source_name = cached.name.split(".", 1)[0] + ".py"
+            if not (cached.parent.parent / source_name).exists():
+                orphans.append(str(cached.relative_to(REPO)))
+    assert orphans == [], f"orphaned bytecode (source gone): {orphans}"
+
+
+def test_no_loose_bytecode_outside_pycache():
+    """``.pyc``/``.pyo`` written next to sources (old ``-X pycache``
+    layouts, manual ``py_compile`` runs) shadow edits even harder than
+    cache directories do."""
+    loose = [
+        str(path.relative_to(REPO))
+        for tree in BYTECODE_TREES
+        for suffix in ("*.pyc", "*.pyo")
+        for path in (REPO / tree).rglob(suffix)
+        if path.parent.name != "__pycache__"
+    ]
+    assert loose == [], f"bytecode outside __pycache__: {loose}"
